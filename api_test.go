@@ -1,0 +1,93 @@
+package eole_test
+
+import (
+	"strings"
+	"testing"
+
+	"eole"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	if len(eole.ConfigNames()) < 10 {
+		t.Fatal("expected the full named-configuration set")
+	}
+	if len(eole.Workloads()) != 19 {
+		t.Fatal("expected 19 workloads")
+	}
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eole.NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5_000)
+	r := sim.Measure(20_000)
+	if r.IPC <= 0 {
+		t.Fatalf("IPC = %v", r.IPC)
+	}
+	if r.Config != "EOLE_4_64" || r.Benchmark != "crafty" {
+		t.Fatalf("report identity wrong: %s/%s", r.Config, r.Benchmark)
+	}
+	if r.Committed < 20_000 {
+		t.Fatalf("measured %d µ-ops", r.Committed)
+	}
+	out := r.String()
+	for _, want := range []string{"EOLE_4_64", "crafty", "offload", "VP", "MPKI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateConvenience(t *testing.T) {
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eole.Simulate(eole.BaselineConfig(), w, 2_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VPCoverage != 0 {
+		t.Fatal("baseline must have no VP coverage")
+	}
+	if r.OffloadFraction != 0 {
+		t.Fatal("baseline must have no offload")
+	}
+}
+
+func TestInvalidConfigReturnsError(t *testing.T) {
+	cfg := eole.BaselineConfig()
+	cfg.IssueWidth = 0
+	w, _ := eole.WorkloadByName("gzip")
+	if _, err := eole.NewSimulator(cfg, w); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+func TestPracticalConfigRuns(t *testing.T) {
+	w, err := eole.WorkloadByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eole.Simulate(eole.PracticalEOLEConfig(), w, 10_000, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OffloadFraction < 0.4 {
+		t.Errorf("art offload on practical EOLE = %.2f, want >= 0.4", r.OffloadFraction)
+	}
+}
+
+func TestEOLEConfigConstructor(t *testing.T) {
+	c := eole.EOLEConfig(4, 48)
+	if c.IssueWidth != 4 || c.IQSize != 48 || !c.EarlyExecution || !c.LateExecution {
+		t.Fatalf("EOLEConfig wrong: %+v", c)
+	}
+}

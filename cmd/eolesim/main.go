@@ -1,0 +1,94 @@
+// Command eolesim runs one benchmark on one machine configuration and
+// prints the report.
+//
+// Usage:
+//
+//	eolesim -config EOLE_4_64 -workload namd -warmup 50000 -n 200000
+//	eolesim -list
+//	eolesim -disasm mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eole"
+	"eole/internal/config"
+	"eole/internal/core"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+func main() {
+	var (
+		cfgName = flag.String("config", "EOLE_4_64", "machine configuration name")
+		wlName  = flag.String("workload", "namd", "benchmark name (short or full)")
+		warmup  = flag.Uint64("warmup", 50_000, "warm-up µ-ops before measurement")
+		n       = flag.Uint64("n", 200_000, "measured µ-ops")
+		list    = flag.Bool("list", false, "list configurations and workloads")
+		disasm  = flag.String("disasm", "", "print the program of a workload and exit")
+		traceN  = flag.Uint64("trace", 0, "render a pipeline trace of N µ-ops after warm-up and exit")
+	)
+	flag.Parse()
+
+	if *traceN > 0 {
+		cfg, err := config.Named(*cfgName)
+		if err != nil {
+			fail(err)
+		}
+		w, err := workload.ByName(*wlName)
+		if err != nil {
+			fail(err)
+		}
+		c := core.New(cfg, prog.MachineSource{M: w.NewMachine()})
+		c.Run(*warmup)
+		from := c.Stats().Fetched
+		pt := core.NewPipeTrace(from, from+*traceN-1)
+		c.SetTracer(pt)
+		// Run well past the traced window so every traced µ-op drains
+		// through commit.
+		c.Run(*traceN + 2048)
+		pt.Render(os.Stdout)
+		return
+	}
+
+	if *list {
+		fmt.Println("Configurations:")
+		for _, n := range eole.ConfigNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("Workloads:")
+		for _, w := range eole.Workloads() {
+			fmt.Printf("  %-12s (%s)  paper IPC %.3f  %s\n", w.Short, w.Name, w.PaperIPC, w.Description)
+		}
+		return
+	}
+	if *disasm != "" {
+		w, err := eole.WorkloadByName(*disasm)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(w.Program.Disasm())
+		return
+	}
+
+	cfg, err := eole.NamedConfig(*cfgName)
+	if err != nil {
+		fail(err)
+	}
+	w, err := eole.WorkloadByName(*wlName)
+	if err != nil {
+		fail(err)
+	}
+	r, err := eole.Simulate(cfg, w, *warmup, *n)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(r)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "eolesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                    # everything (Tables 1-3, Figures 2-13)
+//	experiments figure7 figure12   # selected artefacts
+//	experiments -measure 300000 -warmup 100000 figure6
+//	experiments -workloads namd,mcf figure7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eole/internal/experiments"
+)
+
+func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 0, "warm-up µ-ops (default: harness default)")
+		measure = flag.Uint64("measure", 0, "measured µ-ops (default: harness default)")
+		wls     = flag.String("workloads", "", "comma-separated benchmark subset")
+		chart   = flag.Bool("chart", false, "render figures as ASCII bar charts")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOpts()
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	if *wls != "" {
+		opts.Workloads = strings.Split(*wls, ",")
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if *chart {
+			if tb, err := experiments.TableByID(id, opts); err == nil {
+				for _, col := range tb.Columns {
+					out, err := tb.RenderChart(col, 1.0, 60)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "experiments:", err)
+						os.Exit(1)
+					}
+					fmt.Println(out)
+				}
+				continue
+			}
+			// Fall through to text for text-only artefacts.
+		}
+		a, err := experiments.ByID(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(a.Text)
+	}
+}

@@ -1,0 +1,224 @@
+// Package eole is a cycle-level reproduction of "EOLE: Paving the Way
+// for an Effective Implementation of Value Prediction" (Perais &
+// Seznec, ISCA 2014).
+//
+// EOLE ({Early | Out-of-Order | Late} Execution) builds on a value
+// prediction (VP) pipeline that validates predictions at commit time:
+// single-cycle ALU µ-ops whose operands are available in the front end
+// execute beside Rename (Early Execution), and value-predicted
+// single-cycle ALU µ-ops plus very-high-confidence branches execute in
+// a pre-commit stage (Late Execution). 10%-60% of retired µ-ops never
+// enter the out-of-order engine, letting the issue width shrink from 6
+// to 4 — with the PRF port count back at baseline levels — at no
+// performance cost.
+//
+// The package wraps a complete substrate built from scratch: a µ-op
+// ISA and functional interpreter, 19 synthetic SPEC-like workloads, a
+// TAGE branch predictor with confidence classes, the VTAGE-2DStride
+// value predictor with Forward Probabilistic Counters, Store Sets, a
+// full cache hierarchy with DDR3 memory, a banked physical register
+// file, and the cycle-level out-of-order core with the EOLE blocks.
+//
+// Quick start:
+//
+//	cfg, _ := eole.NamedConfig("EOLE_4_64")
+//	w, _ := eole.WorkloadByName("namd")
+//	sim := eole.NewSimulator(cfg, w)
+//	sim.Run(50_000) // warm up
+//	r := sim.Measure(200_000)
+//	fmt.Println(r)
+package eole
+
+import (
+	"fmt"
+	"strings"
+
+	"eole/internal/config"
+	"eole/internal/core"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// Config is a machine configuration. Use NamedConfig or the
+// constructors in this package to obtain one.
+type Config = config.Config
+
+// Workload is one of the 19 synthetic SPEC-stand-in benchmarks.
+type Workload = workload.Workload
+
+// NamedConfig resolves a configuration name from the paper
+// (e.g. "Baseline_VP_6_64", "EOLE_4_64", "EOLE_4_64_4ports_4banks").
+func NamedConfig(name string) (Config, error) { return config.Named(name) }
+
+// ConfigNames lists all named configurations.
+func ConfigNames() []string { return config.KnownNames() }
+
+// BaselineConfig returns the Table 1 machine without value prediction.
+func BaselineConfig() Config { return config.Baseline6_64() }
+
+// EOLEConfig returns the EOLE machine at the given issue width and IQ
+// size with unconstrained EE/LE bandwidth (the Section 5 model).
+func EOLEConfig(issueWidth, iqSize int) Config { return config.EOLE(issueWidth, iqSize) }
+
+// PracticalEOLEConfig returns the headline Figure 12 design:
+// EOLE_4_64 with a 4-bank PRF and 4 LE/VT read ports per bank.
+func PracticalEOLEConfig() Config { return config.EOLE4_64Practical() }
+
+// Workloads returns the 19 benchmarks in Table 3 order.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadNames returns the short benchmark names in Table 3 order.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName resolves a benchmark by short ("mcf") or full
+// ("429.mcf") name.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// Simulator runs one workload on one machine configuration.
+type Simulator struct {
+	cfg  Config
+	wl   Workload
+	core *core.Core
+}
+
+// NewSimulator builds a simulator. It returns an error for invalid
+// configurations.
+func NewSimulator(cfg Config, w Workload) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := core.New(cfg, prog.MachineSource{M: w.NewMachine()})
+	return &Simulator{cfg: cfg, wl: w, core: c}, nil
+}
+
+// Run simulates n committed µ-ops (training predictors and warming
+// caches) and returns the running report.
+func (s *Simulator) Run(n uint64) *Report {
+	s.core.Run(n)
+	return s.report()
+}
+
+// Measure clears statistics and simulates n committed µ-ops, so the
+// returned report covers exactly the measured region.
+func (s *Simulator) Measure(n uint64) *Report {
+	s.core.ResetStats()
+	s.core.Run(n)
+	return s.report()
+}
+
+// Config returns the simulated machine configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Workload returns the simulated benchmark.
+func (s *Simulator) Workload() Workload { return s.wl }
+
+func (s *Simulator) report() *Report {
+	st := s.core.Stats()
+	bp := s.core.Branch()
+	mem := s.core.Memory()
+	return &Report{
+		Config:    s.cfg.Name,
+		Benchmark: s.wl.Short,
+
+		Cycles:    st.Cycles,
+		Committed: st.Committed,
+		IPC:       st.IPC(),
+
+		EEFraction:      st.EEFraction(),
+		LEFraction:      st.LEFraction(),
+		LEBranchFrac:    frac(st.LateBranches, st.Committed),
+		OffloadFraction: st.OffloadFraction(),
+
+		VPCoverage:    st.VPCoverage(),
+		VPSquashes:    st.VPSquashes,
+		VPSquashPKI:   1000 * frac(st.VPSquashes, st.Committed),
+		MemViolations: st.MemViolations,
+
+		BranchMPKI:       1000 * frac(st.BranchMispredicts, st.Committed),
+		HighConfBranches: bp.HighConfFraction(),
+		HighConfMispRate: bp.HighConfMispredictRate(),
+
+		L1DMissRate:      mem.L1D.MissRate(),
+		L2MissRate:       mem.L2.MissRate(),
+		DRAMAvgLat:       mem.Dram.AvgReadLatency(),
+		LEVTPortStalls:   st.LEVTPortStalls,
+		RenameBankStalls: st.RenameBankStalls,
+
+		raw: *st,
+	}
+}
+
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Report summarizes one simulation region.
+type Report struct {
+	Config    string
+	Benchmark string
+
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+
+	// EOLE offload metrics (Figures 2 and 4).
+	EEFraction      float64
+	LEFraction      float64
+	LEBranchFrac    float64
+	OffloadFraction float64
+
+	// Value prediction metrics.
+	VPCoverage    float64
+	VPSquashes    uint64
+	VPSquashPKI   float64
+	MemViolations uint64
+
+	// Branch prediction metrics.
+	BranchMPKI       float64
+	HighConfBranches float64
+	HighConfMispRate float64
+
+	// Memory system metrics.
+	L1DMissRate float64
+	L2MissRate  float64
+	DRAMAvgLat  float64
+
+	// Constraint stalls (Figures 10 and 11).
+	LEVTPortStalls   uint64
+	RenameBankStalls uint64
+
+	raw core.Stats
+}
+
+// Raw returns the underlying counter set.
+func (r *Report) Raw() core.Stats { return r.raw }
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: IPC %.3f over %d cycles (%d µ-ops)\n",
+		r.Config, r.Benchmark, r.IPC, r.Cycles, r.Committed)
+	fmt.Fprintf(&b, "  offload: %.1f%% (early %.1f%%, late ALU %.1f%%, late branches %.1f%%)\n",
+		100*r.OffloadFraction, 100*r.EEFraction,
+		100*(r.LEFraction-r.LEBranchFrac), 100*r.LEBranchFrac)
+	fmt.Fprintf(&b, "  VP: coverage %.1f%%, squashes/kilo-µ-op %.3f\n",
+		100*r.VPCoverage, r.VPSquashPKI)
+	fmt.Fprintf(&b, "  branches: %.2f MPKI, %.1f%% very-high-confidence (misp %.3f%%)\n",
+		r.BranchMPKI, 100*r.HighConfBranches, 100*r.HighConfMispRate)
+	fmt.Fprintf(&b, "  memory: L1D miss %.1f%%, L2 miss %.1f%%, DRAM avg %.0f cycles",
+		100*r.L1DMissRate, 100*r.L2MissRate, r.DRAMAvgLat)
+	return b.String()
+}
+
+// Simulate is the one-call convenience API: warm up, then measure.
+func Simulate(cfg Config, w Workload, warmup, measure uint64) (*Report, error) {
+	sim, err := NewSimulator(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	sim.Run(warmup)
+	return sim.Measure(measure), nil
+}

@@ -1,0 +1,73 @@
+package eole_test
+
+import (
+	"fmt"
+	"log"
+
+	"eole"
+)
+
+// Example shows the one-call API: warm up, measure, inspect.
+func Example() {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("crafty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := eole.Simulate(cfg, w, 10_000, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Config, r.Benchmark, r.Committed >= 50_000)
+	// Output: EOLE_4_64 crafty true
+}
+
+// ExampleNamedConfig resolves one of the paper's configurations.
+func ExampleNamedConfig() {
+	cfg, err := eole.NamedConfig("Baseline_VP_6_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cfg.IssueWidth, cfg.IQSize, cfg.ValuePrediction, cfg.EarlyExecution)
+	// Output: 6 64 true false
+}
+
+// ExampleWorkloadByName looks up a Table 3 benchmark.
+func ExampleWorkloadByName() {
+	w, err := eole.WorkloadByName("429.mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(w.Short, w.FP, w.PaperIPC)
+	// Output: mcf false 0.105
+}
+
+// ExampleSimulator_Measure separates warm-up from measurement.
+func ExampleSimulator_Measure() {
+	cfg, err := eole.NamedConfig("Baseline_6_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := eole.NewSimulator(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Run(5_000) // warm caches and predictors
+	r := sim.Measure(20_000)
+	fmt.Println(r.Benchmark, r.OffloadFraction == 0) // no EOLE on the baseline
+	// Output: gzip true
+}
+
+// ExamplePracticalEOLEConfig builds the headline Figure 12 machine.
+func ExamplePracticalEOLEConfig() {
+	cfg := eole.PracticalEOLEConfig()
+	fmt.Println(cfg.Name, cfg.PRF.Banks, cfg.PRF.LEVTReadPortsPerBank)
+	// Output: EOLE_4_64_4ports_4banks 4 4
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate one benchmark on the practical EOLE design and
+// on the 6-issue VP baseline, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eole"
+)
+
+func main() {
+	w, err := eole.WorkloadByName("namd")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := eole.NamedConfig("Baseline_VP_6_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	practical := eole.PracticalEOLEConfig()
+
+	const warmup, measure = 50_000, 200_000
+
+	rb, err := eole.Simulate(baseline, w, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := eole.Simulate(practical, w, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(rb)
+	fmt.Println()
+	fmt.Println(rp)
+	fmt.Println()
+	fmt.Printf("%s runs %s at %.1f%% of the %d-issue baseline's performance\n",
+		practical.Name, w.Short, 100*rp.IPC/rb.IPC, baseline.IssueWidth)
+	fmt.Printf("while offloading %.1f%% of retired µ-ops from the out-of-order engine.\n",
+		100*rp.OffloadFraction)
+}

@@ -1,0 +1,104 @@
+// Package bpred implements the front-end branch prediction stack of
+// the paper's baseline (Table 1): a TAGE conditional predictor with
+// 1 base + 12 tagged components and storage-free confidence estimation
+// (Seznec, HPCA 2011), a 2-way set-associative BTB, and a return
+// address stack.
+//
+// The confidence estimator matters beyond branch prediction: EOLE
+// late-executes "very high confidence" branches (predictions whose
+// confidence counter is saturated), so the classification produced
+// here decides the Late Execution branch offload of Figures 4 and 13.
+package bpred
+
+import "math"
+
+// GlobalHistory is a long circular branch-direction history. TAGE
+// components index it through FoldedHistory registers, which maintain
+// an O(1) folded hash of the most recent L bits.
+type GlobalHistory struct {
+	bits []uint8
+	head int // position of the most recent bit
+}
+
+// NewGlobalHistory returns a history holding capacity bits (rounded up
+// to a power of two).
+func NewGlobalHistory(capacity int) *GlobalHistory {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &GlobalHistory{bits: make([]uint8, n)}
+}
+
+// Len returns the history capacity in bits.
+func (h *GlobalHistory) Len() int { return len(h.bits) }
+
+// Push records a branch outcome as the newest history bit.
+func (h *GlobalHistory) Push(taken bool) {
+	h.head = (h.head + 1) & (len(h.bits) - 1)
+	if taken {
+		h.bits[h.head] = 1
+	} else {
+		h.bits[h.head] = 0
+	}
+}
+
+// Bit returns the i'th most recent outcome (i = 0 is the newest).
+func (h *GlobalHistory) Bit(i int) uint8 {
+	return h.bits[(h.head-i)&(len(h.bits)-1)]
+}
+
+// FoldedHistory incrementally maintains a compLen-bit fold (XOR) of the
+// most recent origLen history bits, the classic TAGE circular-shift
+// register construction.
+type FoldedHistory struct {
+	value   uint32
+	origLen int
+	compLen int
+	outPos  int // position of the evicted bit within the fold
+}
+
+// NewFoldedHistory folds origLen history bits into compLen bits.
+func NewFoldedHistory(origLen, compLen int) *FoldedHistory {
+	if compLen <= 0 {
+		compLen = 1
+	}
+	return &FoldedHistory{
+		origLen: origLen,
+		compLen: compLen,
+		outPos:  origLen % compLen,
+	}
+}
+
+// Value returns the current folded hash.
+func (f *FoldedHistory) Value() uint32 { return f.value & ((1 << f.compLen) - 1) }
+
+// Update shifts in the newest history bit; h must already contain it
+// (call after GlobalHistory.Push).
+func (f *FoldedHistory) Update(h *GlobalHistory) {
+	in := uint32(h.Bit(0))
+	out := uint32(h.Bit(f.origLen)) // bit falling out of the window
+	f.value = (f.value << 1) | in
+	f.value ^= out << f.outPos
+	f.value ^= f.value >> f.compLen
+	f.value &= (1 << f.compLen) - 1
+}
+
+// GeometricLengths returns n history lengths forming a geometric
+// series from min to max (inclusive), as used by TAGE and VTAGE.
+func GeometricLengths(min, max, n int) []int {
+	if n == 1 {
+		return []int{min}
+	}
+	out := make([]int, n)
+	ratio := float64(max) / float64(min)
+	for i := 0; i < n; i++ {
+		exp := float64(i) / float64(n-1)
+		l := int(0.5 + float64(min)*math.Pow(ratio, exp))
+		if i > 0 && l <= out[i-1] {
+			l = out[i-1] + 1
+		}
+		out[i] = l
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package bpred
+
+// TageConfig sizes the TAGE predictor. The defaults reproduce the
+// paper's Table 1 predictor: "TAGE 1+12 components, 15K-entry total,
+// 20 cycles min. mis. penalty".
+type TageConfig struct {
+	// BaseBits is log2 of the base bimodal table entries.
+	BaseBits int
+	// NumTagged is the number of tagged components (12 in the paper).
+	NumTagged int
+	// TaggedBits is log2 of the entries per tagged component.
+	TaggedBits int
+	// TagWidth is the partial tag width in bits.
+	TagWidth int
+	// MinHist and MaxHist bound the geometric history lengths.
+	MinHist, MaxHist int
+	// UseAltBits sizes the USE_ALT_ON_NA counter.
+	UseAltBits int
+	// ResetPeriod is the number of updates between useful-bit halvings.
+	ResetPeriod int
+}
+
+// DefaultTageConfig returns the Table 1 configuration: a 4K-entry base
+// plus 12 × 1K-entry tagged components ≈ 16K entries (the paper says
+// "15K-entry total").
+func DefaultTageConfig() TageConfig {
+	return TageConfig{
+		BaseBits:    12,
+		NumTagged:   12,
+		TaggedBits:  10,
+		TagWidth:    12,
+		MinHist:     4,
+		MaxHist:     640,
+		UseAltBits:  4,
+		ResetPeriod: 1 << 18,
+	}
+}
+
+// Confidence classifies a prediction per Seznec's storage-free
+// confidence estimation (HPCA 2011): the provider counter value alone
+// separates low/medium/high confidence streams.
+type Confidence uint8
+
+const (
+	// ConfLow: weak provider counter; mispredicts often.
+	ConfLow Confidence = iota
+	// ConfMed: intermediate counter values.
+	ConfMed
+	// ConfHigh: saturated provider counter. The paper offloads exactly
+	// these ("predictions whose confidence counter is saturated") to
+	// Late Execution; their misprediction rate is generally < 0.5%.
+	ConfHigh
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case ConfLow:
+		return "low"
+	case ConfMed:
+		return "med"
+	default:
+		return "high"
+	}
+}
+
+type tageEntry struct {
+	ctr  int8 // 3-bit signed counter: -4..3
+	tag  uint16
+	u    uint8 // 2-bit useful counter
+	conf uint8 // 3-bit probabilistic confidence counter
+}
+
+// confSaturated is the confidence counter ceiling; reaching it
+// classifies the entry's predictions as very high confidence.
+const confSaturated = 7
+
+// TagePrediction carries everything Update needs to finish training,
+// so Predict/Update pairs are stateless for the caller.
+type TagePrediction struct {
+	Taken      bool
+	Conf       Confidence
+	provider   int // component index; -1 = base
+	altTaken   bool
+	providerIx uint32
+	tags       []uint32
+	indices    []uint32
+	baseIx     uint32
+	usedAlt    bool
+	newAlloc   bool
+}
+
+// TAGE is the conditional branch direction predictor.
+type TAGE struct {
+	cfg      TageConfig
+	base     []uint8 // 2-bit bimodal counters
+	baseConf []uint8 // 3-bit probabilistic confidence for base entries
+	rand     uint64  // deterministic PRNG for probabilistic updates
+	comp     [][]tageEntry
+	hist     *GlobalHistory
+	fIdx     []*FoldedHistory // per-component index folds
+	fTag     []*FoldedHistory // per-component tag folds (primary)
+	fTg2     []*FoldedHistory // per-component tag folds (secondary)
+	lens     []int
+
+	useAltOnNA int
+	updates    uint64
+
+	// scratch buffers reused across predictions to avoid allocation.
+	scratchIdx []uint32
+	scratchTag []uint32
+}
+
+// NewTAGE builds a TAGE predictor from cfg.
+func NewTAGE(cfg TageConfig) *TAGE {
+	t := &TAGE{
+		cfg:      cfg,
+		base:     make([]uint8, 1<<cfg.BaseBits),
+		baseConf: make([]uint8, 1<<cfg.BaseBits),
+		rand:     0x2545F4914F6CDD1D,
+		hist:     NewGlobalHistory(cfg.MaxHist + 64),
+		lens:     GeometricLengths(cfg.MinHist, cfg.MaxHist, cfg.NumTagged),
+	}
+	for i := 0; i < cfg.NumTagged; i++ {
+		t.comp = append(t.comp, make([]tageEntry, 1<<cfg.TaggedBits))
+		t.fIdx = append(t.fIdx, NewFoldedHistory(t.lens[i], cfg.TaggedBits))
+		t.fTag = append(t.fTag, NewFoldedHistory(t.lens[i], cfg.TagWidth))
+		t.fTg2 = append(t.fTg2, NewFoldedHistory(t.lens[i], cfg.TagWidth-1))
+	}
+	t.scratchIdx = make([]uint32, cfg.NumTagged)
+	t.scratchTag = make([]uint32, cfg.NumTagged)
+	// Weakly-taken initial bimodal state.
+	for i := range t.base {
+		t.base[i] = 2
+	}
+	return t
+}
+
+// HistoryLengths returns the geometric history lengths in use.
+func (t *TAGE) HistoryLengths() []int {
+	out := make([]int, len(t.lens))
+	copy(out, t.lens)
+	return out
+}
+
+// StorageBits returns the approximate predictor storage budget in bits
+// (for Table 2-style reporting).
+func (t *TAGE) StorageBits() int {
+	bits := len(t.base) * (2 + 3)
+	per := 3 + t.cfg.TagWidth + 2 + 3
+	for range t.comp {
+		bits += (1 << t.cfg.TaggedBits) * per
+	}
+	return bits
+}
+
+func (t *TAGE) index(pc uint64, comp int) uint32 {
+	mask := uint32(1<<t.cfg.TaggedBits) - 1
+	h := uint32(pc) ^ uint32(pc>>t.cfg.TaggedBits) ^ t.fIdx[comp].Value() ^ uint32(comp)<<1
+	return h & mask
+}
+
+func (t *TAGE) tag(pc uint64, comp int) uint32 {
+	mask := uint32(1<<t.cfg.TagWidth) - 1
+	return (uint32(pc) ^ t.fTag[comp].Value() ^ (t.fTg2[comp].Value() << 1)) & mask
+}
+
+func (t *TAGE) baseIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & (uint32(1<<t.cfg.BaseBits) - 1)
+}
+
+// Predict returns the direction prediction and confidence for pc.
+func (t *TAGE) Predict(pc uint64) TagePrediction {
+	p := TagePrediction{provider: -1, indices: t.scratchIdx, tags: t.scratchTag}
+	p.baseIx = t.baseIndex(pc)
+	baseTaken := t.base[p.baseIx] >= 2
+
+	alt := -1
+	for i := t.cfg.NumTagged - 1; i >= 0; i-- {
+		p.indices[i] = t.index(pc, i)
+		p.tags[i] = t.tag(pc, i)
+	}
+	for i := t.cfg.NumTagged - 1; i >= 0; i-- {
+		if t.comp[i][p.indices[i]].tag == uint16(p.tags[i]) {
+			if p.provider < 0 {
+				p.provider = i
+				p.providerIx = p.indices[i]
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+
+	if p.provider < 0 {
+		p.Taken = baseTaken
+		p.altTaken = baseTaken
+		p.Conf = confidenceClass(t.baseConf[p.baseIx])
+		return p
+	}
+
+	e := &t.comp[p.provider][p.providerIx]
+	provTaken := e.ctr >= 0
+	if alt >= 0 {
+		p.altTaken = t.comp[alt][p.indices[alt]].ctr >= 0
+	} else {
+		p.altTaken = baseTaken
+	}
+	// "Newly allocated" entries (weak counter, never useful) may be
+	// overridden by the alternate prediction (USE_ALT_ON_NA).
+	p.newAlloc = (e.ctr == 0 || e.ctr == -1) && e.u == 0
+	if p.newAlloc && t.useAltOnNA >= 8 {
+		p.Taken = p.altTaken
+		p.usedAlt = true
+	} else {
+		p.Taken = provTaken
+	}
+	p.Conf = confidenceClass(e.conf)
+	if p.usedAlt {
+		p.Conf = ConfLow
+	}
+	return p
+}
+
+// confidenceClass maps a probabilistic confidence counter to a class.
+// The counter is incremented on a correct prediction only with
+// probability 1/16 and reset on a misprediction, so reaching
+// saturation requires on the order of a hundred consecutive correct
+// predictions — which is what keeps the very-high-confidence
+// misprediction rate below the ~0.5% the paper's Late Execution of
+// branches relies on (Seznec, HPCA 2011).
+func confidenceClass(conf uint8) Confidence {
+	switch {
+	case conf >= confSaturated:
+		return ConfHigh
+	case conf >= 4:
+		return ConfMed
+	default:
+		return ConfLow
+	}
+}
+
+// nextRand steps the deterministic xorshift PRNG used for
+// probabilistic confidence updates.
+func (t *TAGE) nextRand() uint64 {
+	t.rand ^= t.rand << 13
+	t.rand ^= t.rand >> 7
+	t.rand ^= t.rand << 17
+	return t.rand
+}
+
+// trainConf applies the probabilistic confidence update.
+func (t *TAGE) trainConf(conf *uint8, correct bool) {
+	if !correct {
+		*conf = 0
+		return
+	}
+	if *conf < confSaturated && t.nextRand()&15 == 0 {
+		*conf++
+	}
+}
+
+// Update trains the predictor with the actual outcome. It must be
+// called exactly once per Predict, in prediction order, and before
+// PushHistory for the same branch.
+func (t *TAGE) Update(pc uint64, taken bool, p TagePrediction) {
+	t.updates++
+	if t.updates%uint64(t.cfg.ResetPeriod) == 0 {
+		t.halveUseful()
+	}
+
+	correct := p.Taken == taken
+
+	// USE_ALT_ON_NA training.
+	if p.provider >= 0 && p.newAlloc {
+		e := &t.comp[p.provider][p.providerIx]
+		provTaken := e.ctr >= 0
+		if provTaken != p.altTaken {
+			if p.altTaken == taken {
+				if t.useAltOnNA < 15 {
+					t.useAltOnNA++
+				}
+			} else if t.useAltOnNA > 0 {
+				t.useAltOnNA--
+			}
+		}
+	}
+
+	if p.provider >= 0 {
+		e := &t.comp[p.provider][p.providerIx]
+		provTaken := e.ctr >= 0
+		t.trainConf(&e.conf, provTaken == taken)
+		// Useful bit: provider correct where alternate was wrong.
+		if provTaken != p.altTaken {
+			if provTaken == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		e.ctr = updateCtr(e.ctr, taken, -4, 3)
+		// Also train base when the provider entry is still weak, which
+		// accelerates convergence (standard TAGE optimization).
+		if p.newAlloc {
+			t.base[p.baseIx] = updateBimodal(t.base[p.baseIx], taken)
+		}
+	} else {
+		baseTaken := t.base[p.baseIx] >= 2
+		t.trainConf(&t.baseConf[p.baseIx], baseTaken == taken)
+		t.base[p.baseIx] = updateBimodal(t.base[p.baseIx], taken)
+	}
+
+	// Allocate on misprediction in a longer-history component.
+	if !correct && p.provider < t.cfg.NumTagged-1 {
+		t.allocate(pc, taken, p)
+	}
+}
+
+// allocate claims up to one entry with u==0 in a component longer than
+// the provider, decaying useful bits when none is free.
+func (t *TAGE) allocate(pc uint64, taken bool, p TagePrediction) {
+	start := p.provider + 1
+	for i := start; i < t.cfg.NumTagged; i++ {
+		e := &t.comp[i][p.indices[i]]
+		if e.u == 0 {
+			e.tag = uint16(p.tags[i])
+			e.conf = 0
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			return
+		}
+	}
+	for i := start; i < t.cfg.NumTagged; i++ {
+		e := &t.comp[i][p.indices[i]]
+		if e.u > 0 {
+			e.u--
+		}
+	}
+}
+
+func (t *TAGE) halveUseful() {
+	for _, c := range t.comp {
+		for i := range c {
+			c[i].u >>= 1
+		}
+	}
+}
+
+// PushHistory appends the resolved outcome to the global history and
+// advances all folded registers. Unconditional control flow also
+// pushes a taken bit (path information), as common TAGE setups do.
+func (t *TAGE) PushHistory(taken bool) {
+	t.hist.Push(taken)
+	for i := range t.comp {
+		t.fIdx[i].Update(t.hist)
+		t.fTag[i].Update(t.hist)
+		t.fTg2[i].Update(t.hist)
+	}
+}
+
+func updateCtr(ctr int8, taken bool, min, max int8) int8 {
+	if taken {
+		if ctr < max {
+			return ctr + 1
+		}
+	} else if ctr > min {
+		return ctr - 1
+	}
+	return ctr
+}
+
+func updateBimodal(ctr uint8, taken bool) uint8 {
+	if taken {
+		if ctr < 3 {
+			return ctr + 1
+		}
+	} else if ctr > 0 {
+		return ctr - 1
+	}
+	return ctr
+}

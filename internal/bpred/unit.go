@@ -1,0 +1,194 @@
+package bpred
+
+import "eole/internal/isa"
+
+// Result describes the front-end's handling of one dynamic branch.
+type Result struct {
+	// PredTaken is the predicted direction (conditional branches).
+	PredTaken bool
+	// Mispredicted is true when direction or target was wrong and the
+	// fetch stream must be redirected when the branch resolves.
+	Mispredicted bool
+	// VeryHighConf marks conditional branches whose TAGE provider
+	// counter is saturated: EOLE may resolve them in the Late
+	// Execution stage (§3.3).
+	VeryHighConf bool
+	// Conf is the raw confidence class of the direction prediction.
+	Conf Confidence
+}
+
+// Unit bundles TAGE + BTB + RAS behind the single entry point the
+// pipeline uses. It is trace-driven: prediction and training happen
+// together, in program order, which idealizes update delay exactly as
+// typical trace-driven simulators do.
+//
+// Beyond the paper's evaluated design, the unit also estimates
+// confidence for returns and register-indirect jumps (per-PC
+// probabilistic counters over RAS/BTB correctness), enabling the §7
+// future-work extension of late-executing those branch kinds too.
+type Unit struct {
+	Tage *TAGE
+	Btb  *BTB
+	Ras  *RAS
+
+	// indirConf holds per-PC probabilistic confidence counters for
+	// returns and indirect jumps (shared table; PCs rarely collide).
+	indirConf [1024]uint8
+	rand      uint64
+
+	// Statistics.
+	CondBranches   uint64
+	CondMispredict uint64
+	HighConfCond   uint64
+	HighConfWrong  uint64
+	IndirectSeen   uint64
+	IndirectWrong  uint64
+	ReturnsSeen    uint64
+	ReturnsWrong   uint64
+}
+
+// NewUnit builds the Table 1 front-end predictor stack.
+func NewUnit() *Unit {
+	return &Unit{
+		Tage: NewTAGE(DefaultTageConfig()),
+		Btb:  NewBTB(4096, 2),
+		Ras:  NewRAS(32),
+		rand: 0x6C62272E07BB0142,
+	}
+}
+
+func (u *Unit) indirSlot(pc uint64) *uint8 {
+	return &u.indirConf[(pc>>2)%uint64(len(u.indirConf))]
+}
+
+// trainIndirConf applies the probabilistic confidence policy (as for
+// conditional branches: slow promotion, reset on a miss).
+func (u *Unit) trainIndirConf(pc uint64, correct bool) {
+	slot := u.indirSlot(pc)
+	if !correct {
+		*slot = 0
+		return
+	}
+	if *slot < confSaturated {
+		u.rand ^= u.rand << 13
+		u.rand ^= u.rand >> 7
+		u.rand ^= u.rand << 17
+		if u.rand&15 == 0 {
+			*slot++
+		}
+	}
+}
+
+// OnBranch processes one dynamic branch: it predicts, compares against
+// the actual outcome, trains, and maintains history/BTB/RAS.
+//
+//   - pc: branch address
+//   - class: branch class (conditional, jump, call, return, indirect)
+//   - taken: actual direction (true for unconditional)
+//   - target: actual next PC when taken
+//   - fallthrough_: PC of the next sequential instruction
+func (u *Unit) OnBranch(class isa.Class, pc, target, fallthrough_ uint64, taken bool) Result {
+	var res Result
+	switch class {
+	case isa.ClassBranch:
+		u.CondBranches++
+		p := u.Tage.Predict(pc)
+		res.PredTaken = p.Taken
+		res.Conf = p.Conf
+		res.VeryHighConf = p.Conf == ConfHigh
+		if res.VeryHighConf {
+			u.HighConfCond++
+		}
+		if p.Taken != taken {
+			res.Mispredicted = true
+			u.CondMispredict++
+			if res.VeryHighConf {
+				u.HighConfWrong++
+			}
+		}
+		// Direction right but target unknown: the BTB must supply it
+		// for taken branches fetched this cycle.
+		if !res.Mispredicted && taken {
+			if t, hit := u.Btb.Lookup(pc); !hit || t != target {
+				res.Mispredicted = true
+			}
+		}
+		u.Tage.Update(pc, taken, p)
+		u.Tage.PushHistory(taken)
+		if taken {
+			u.Btb.Insert(pc, target)
+		}
+
+	case isa.ClassJump:
+		// Direct unconditional: target known after first encounter.
+		res.PredTaken = true
+		if t, hit := u.Btb.Lookup(pc); !hit || t != target {
+			res.Mispredicted = true
+		}
+		u.Btb.Insert(pc, target)
+		u.Tage.PushHistory(true)
+
+	case isa.ClassCall:
+		res.PredTaken = true
+		if t, hit := u.Btb.Lookup(pc); !hit || t != target {
+			res.Mispredicted = true
+		}
+		u.Btb.Insert(pc, target)
+		u.Ras.Push(fallthrough_)
+		u.Tage.PushHistory(true)
+
+	case isa.ClassReturn:
+		u.ReturnsSeen++
+		res.PredTaken = true
+		res.VeryHighConf = *u.indirSlot(pc) >= confSaturated
+		res.Conf = confidenceClass(*u.indirSlot(pc))
+		if t, ok := u.Ras.Pop(); !ok || t != target {
+			res.Mispredicted = true
+			u.ReturnsWrong++
+		}
+		u.trainIndirConf(pc, !res.Mispredicted)
+		u.Tage.PushHistory(true)
+
+	case isa.ClassJumpReg:
+		u.IndirectSeen++
+		res.PredTaken = true
+		res.VeryHighConf = *u.indirSlot(pc) >= confSaturated
+		res.Conf = confidenceClass(*u.indirSlot(pc))
+		// Last-target indirect prediction through the BTB.
+		if t, hit := u.Btb.Lookup(pc); !hit || t != target {
+			res.Mispredicted = true
+			u.IndirectWrong++
+		}
+		u.trainIndirConf(pc, !res.Mispredicted)
+		u.Btb.Insert(pc, target)
+		u.Tage.PushHistory(true)
+	}
+	return res
+}
+
+// CondMispredictRate returns mispredictions per conditional branch.
+func (u *Unit) CondMispredictRate() float64 {
+	if u.CondBranches == 0 {
+		return 0
+	}
+	return float64(u.CondMispredict) / float64(u.CondBranches)
+}
+
+// HighConfMispredictRate returns the misprediction rate within the
+// very-high-confidence class; the paper relies on this being below
+// ~0.5% to make LE branch resolution safe.
+func (u *Unit) HighConfMispredictRate() float64 {
+	if u.HighConfCond == 0 {
+		return 0
+	}
+	return float64(u.HighConfWrong) / float64(u.HighConfCond)
+}
+
+// HighConfFraction returns the fraction of conditional branches
+// classified very-high-confidence (the LE branch offload pool).
+func (u *Unit) HighConfFraction() float64 {
+	if u.CondBranches == 0 {
+		return 0
+	}
+	return float64(u.HighConfCond) / float64(u.CondBranches)
+}

@@ -1,0 +1,231 @@
+// Package cache implements the cache hierarchy of Table 1: split
+// 32KB 4-way L1 caches (2-cycle L1D), a unified 2MB 16-way 12-cycle
+// L2 with a degree-8 stride prefetcher, 64B lines, LRU replacement,
+// and MSHR-limited outstanding misses. Backed by the DDR3 model of
+// internal/dram.
+package cache
+
+// Level is anything that can serve a memory access: a cache or the
+// DRAM controller. Access returns the CPU cycle at which the request
+// completes.
+type Level interface {
+	Access(addr uint64, write bool, pc uint64, now uint64) uint64
+}
+
+// Config sizes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	Latency    uint64 // access latency in cycles (hit time)
+	MSHRs      int    // max outstanding misses (0 = unlimited)
+	WriteBack  bool
+	Prefetcher *PrefetcherConfig // optional, trained on this level's accesses
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+type mshrEntry struct {
+	addr  uint64 // line address
+	ready uint64
+}
+
+// Cache is one set-associative, write-allocate cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	next     Level
+	stamp    uint64
+	mshrs    []mshrEntry
+	pf       *stridePrefetcher
+
+	// Stats.
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+	MSHRMerges uint64
+	MSHRStalls uint64
+	Prefetches uint64
+}
+
+// New builds a cache in front of next.
+func New(cfg Config, next Level) *Cache {
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	n := 1
+	for n*2 <= numSets {
+		n *= 2
+	}
+	c := &Cache{cfg: cfg, next: next, setMask: uint64(n - 1)}
+	c.sets = make([][]line, n)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for 1<<c.lineBits < cfg.LineBytes {
+		c.lineBits++
+	}
+	if cfg.Prefetcher != nil {
+		c.pf = newStridePrefetcher(*cfg.Prefetcher)
+	}
+	return c
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+func (c *Cache) set(la uint64) []line { return c.sets[la&c.setMask] }
+
+// lookup probes the cache without filling.
+func (c *Cache) lookup(la uint64) *line {
+	s := c.set(la)
+	for i := range s {
+		if s[i].valid && s[i].tag == la {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// fill inserts la, evicting LRU; returns true when a dirty line was
+// written back.
+func (c *Cache) fill(la uint64, dirty bool, now uint64) bool {
+	s := c.set(la)
+	victim := 0
+	for i := range s {
+		if !s[i].valid {
+			victim = i
+			break
+		}
+		if s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	wb := s[victim].valid && s[victim].dirty && c.cfg.WriteBack
+	if wb {
+		c.Writebacks++
+		if c.next != nil {
+			// Writeback traffic occupies the next level but completes
+			// in the background.
+			c.next.Access(s[victim].tag<<c.lineBits, true, 0, now)
+		}
+	}
+	c.stamp++
+	s[victim] = line{valid: true, dirty: dirty, tag: la, lru: c.stamp}
+	return wb
+}
+
+// reapMSHRs drops completed entries and reports live count.
+func (c *Cache) reapMSHRs(now uint64) int {
+	live := c.mshrs[:0]
+	for _, e := range c.mshrs {
+		if e.ready > now {
+			live = append(live, e)
+		}
+	}
+	c.mshrs = live
+	return len(live)
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, write bool, pc uint64, now uint64) uint64 {
+	c.Accesses++
+	la := c.lineAddr(addr)
+
+	if c.pf != nil && !write {
+		for _, pfAddr := range c.pf.observe(pc, addr) {
+			c.prefetch(pfAddr, now)
+		}
+	}
+
+	if l := c.lookup(la); l != nil {
+		c.stamp++
+		l.lru = c.stamp
+		if write {
+			l.dirty = true
+		}
+		ready := now + c.cfg.Latency
+		// Lines are installed when the miss is issued, so a "hit" may
+		// be to a line whose fill is still in flight: such an access
+		// merges into the outstanding MSHR and waits for the data.
+		for _, e := range c.mshrs {
+			if e.addr == la && e.ready > ready {
+				c.MSHRMerges++
+				ready = e.ready
+			}
+		}
+		return ready
+	}
+
+	c.Misses++
+
+	start := now + c.cfg.Latency
+	if c.cfg.MSHRs > 0 && c.reapMSHRs(now) >= c.cfg.MSHRs {
+		// All miss registers busy: the request waits for the earliest
+		// one to free up.
+		c.MSHRStalls++
+		earliest := c.mshrs[0].ready
+		for _, e := range c.mshrs[1:] {
+			if e.ready < earliest {
+				earliest = e.ready
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+	}
+
+	var ready uint64
+	if c.next != nil {
+		ready = c.next.Access(addr, false, pc, start)
+	} else {
+		ready = start
+	}
+	if ready < start {
+		ready = start
+	}
+	c.mshrs = append(c.mshrs, mshrEntry{addr: la, ready: ready})
+	c.fill(la, write, now)
+	return ready
+}
+
+// prefetch brings a line into this cache without charging any
+// requester; it consumes an MSHR only if one is free (prefetches are
+// dropped under pressure, as real prefetchers are).
+func (c *Cache) prefetch(addr uint64, now uint64) {
+	la := c.lineAddr(addr)
+	if c.lookup(la) != nil {
+		return
+	}
+	for _, e := range c.mshrs {
+		if e.addr == la {
+			return
+		}
+	}
+	if c.cfg.MSHRs > 0 && c.reapMSHRs(now) >= c.cfg.MSHRs {
+		return
+	}
+	c.Prefetches++
+	var ready uint64 = now + c.cfg.Latency
+	if c.next != nil {
+		ready = c.next.Access(addr, false, 0, now+c.cfg.Latency)
+	}
+	c.mshrs = append(c.mshrs, mshrEntry{addr: la, ready: ready})
+	c.fill(la, false, now)
+}
+
+// MissRate reports misses per access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }

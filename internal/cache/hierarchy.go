@@ -1,0 +1,65 @@
+package cache
+
+import "eole/internal/dram"
+
+// Hierarchy assembles the Table 1 memory system: L1I + L1D backed by a
+// shared L2 with a stride prefetcher, backed by DDR3.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	Dram *dram.DDR3
+}
+
+// NewTable1Hierarchy builds the paper's memory system.
+func NewTable1Hierarchy() *Hierarchy {
+	ddr := dram.New(dram.DefaultConfig())
+	pf := DefaultPrefetcherConfig()
+	l2 := New(Config{
+		Name:       "L2",
+		SizeBytes:  2 << 20,
+		Ways:       16,
+		LineBytes:  64,
+		Latency:    12,
+		MSHRs:      64,
+		WriteBack:  true,
+		Prefetcher: &pf,
+	}, ddr)
+	l1d := New(Config{
+		Name:      "L1D",
+		SizeBytes: 32 << 10,
+		Ways:      4,
+		LineBytes: 64,
+		Latency:   2,
+		MSHRs:     64,
+		WriteBack: true,
+	}, l2)
+	l1i := New(Config{
+		Name:      "L1I",
+		SizeBytes: 32 << 10,
+		Ways:      4,
+		LineBytes: 64,
+		Latency:   1,
+		MSHRs:     16,
+		WriteBack: false,
+	}, l2)
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Dram: ddr}
+}
+
+// Load issues a data read at cycle now; it returns the completion
+// cycle.
+func (h *Hierarchy) Load(pc, addr, now uint64) uint64 {
+	return h.L1D.Access(addr, false, pc, now)
+}
+
+// Store issues a data write at cycle now; stores complete into the
+// store queue and write back lazily, so the returned cycle only
+// reflects cache occupancy for timing of SQ release.
+func (h *Hierarchy) Store(pc, addr, now uint64) uint64 {
+	return h.L1D.Access(addr, true, pc, now)
+}
+
+// Fetch issues an instruction read for the line containing pc.
+func (h *Hierarchy) Fetch(pc, now uint64) uint64 {
+	return h.L1I.Access(pc, false, pc, now)
+}

@@ -1,0 +1,76 @@
+package cache
+
+// PrefetcherConfig sizes the per-PC stride prefetcher of Table 1
+// ("Stride prefetcher, degree 8, distance 1" on the L2).
+type PrefetcherConfig struct {
+	// TableEntries is the number of PC-indexed tracking entries.
+	TableEntries int
+	// Degree is how many lines ahead are fetched once a stride locks.
+	Degree int
+	// Distance is the stride multiple at which prefetching starts.
+	Distance int
+}
+
+// DefaultPrefetcherConfig returns the Table 1 prefetcher.
+func DefaultPrefetcherConfig() PrefetcherConfig {
+	return PrefetcherConfig{TableEntries: 256, Degree: 8, Distance: 1}
+}
+
+type pfEntry struct {
+	tag    uint64
+	last   uint64
+	stride int64
+	conf   uint8 // 2-bit: prefetch when >= 2
+}
+
+// stridePrefetcher detects constant-stride access streams per load PC
+// and generates prefetch addresses.
+type stridePrefetcher struct {
+	cfg     PrefetcherConfig
+	table   []pfEntry
+	scratch []uint64
+}
+
+func newStridePrefetcher(cfg PrefetcherConfig) *stridePrefetcher {
+	if cfg.TableEntries < 1 {
+		cfg.TableEntries = 1
+	}
+	n := 1
+	for n < cfg.TableEntries {
+		n *= 2
+	}
+	return &stridePrefetcher{
+		cfg:     cfg,
+		table:   make([]pfEntry, n),
+		scratch: make([]uint64, 0, cfg.Degree),
+	}
+}
+
+// observe trains on a demand access and returns the prefetch addresses
+// to issue (valid until the next call).
+func (p *stridePrefetcher) observe(pc, addr uint64) []uint64 {
+	ix := (pc >> 2) & uint64(len(p.table)-1)
+	e := &p.table[ix]
+	p.scratch = p.scratch[:0]
+	if e.tag != pc {
+		*e = pfEntry{tag: pc, last: addr}
+		return p.scratch
+	}
+	stride := int64(addr - e.last)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.last = addr
+	if e.conf >= 2 {
+		for i := 1; i <= p.cfg.Degree; i++ {
+			target := addr + uint64(e.stride*int64(p.cfg.Distance)*int64(i))
+			p.scratch = append(p.scratch, target)
+		}
+	}
+	return p.scratch
+}

@@ -1,0 +1,177 @@
+// Package complexity implements the paper's Section 6 hardware
+// cost analysis: physical-register-file port accounting, the Zyuban &
+// Kogge area model, and first-order scheduler/bypass complexity
+// metrics. This is the other half of the paper's argument — EOLE is
+// not only performance-neutral at 4-issue (Section 5) but strictly
+// cheaper (Section 6):
+//
+//   - Baseline_6_64 PRF: 12R/6W.
+//   - Adding VP naively (Baseline_VP_6_64): 20R/14W — "prohibitive".
+//   - EOLE_4_64 unbanked: 24R/12W — ~4x the baseline PRF area.
+//   - EOLE_4_64 with a 4-bank PRF and port-limited LE/VT: 12R/6W per
+//     bank — the same port budget as the 6-issue baseline without VP.
+package complexity
+
+import (
+	"fmt"
+
+	"eole/internal/config"
+	"eole/internal/stats"
+)
+
+// PRFPorts is the port demand of one configuration on (each bank of)
+// the physical register file.
+type PRFPorts struct {
+	// Whole-file demand with a monolithic (1-bank) file.
+	Reads  int
+	Writes int
+	// Per-bank demand under the configuration's banking, after the
+	// §6.3 mitigations (round-robin allocation for EE/prediction
+	// writes, the LE/VT read-port limit).
+	Banks         int
+	PerBankReads  int
+	PerBankWrites int
+}
+
+// PortsFor derives the PRF port demand from a machine configuration,
+// following the paper's accounting:
+//
+//   - OoO execution: 2 reads and 1 write per issue slot.
+//   - Value prediction (validation at commit): +RenameWidth write
+//     ports (predictions written at dispatch) and +CommitWidth read
+//     ports (validation + predictor training).
+//   - EOLE: the EE stage writes its results through the same
+//     prediction write ports; Late Execution raises the LE/VT read
+//     demand to 2 per LE ALU (operands) on top of validation/training
+//     — "8 ALUs and up to 16 read ports" at 8-wide commit.
+func PortsFor(cfg config.Config) PRFPorts {
+	p := PRFPorts{Banks: cfg.PRF.Banks}
+
+	oooReads := 2 * cfg.IssueWidth
+	oooWrites := cfg.IssueWidth
+
+	vpWrites, levtReads := 0, 0
+	if cfg.ValuePrediction {
+		vpWrites = cfg.RenameWidth  // predictions (and EE results) at dispatch
+		levtReads = cfg.CommitWidth // validation + training result reads
+		if cfg.LateExecution {
+			w := cfg.LEWidth
+			if w <= 0 {
+				w = cfg.CommitWidth
+			}
+			// LE ALU operand reads; validation/training reads share
+			// the same stage. Total matches the paper's "up to 16".
+			levtReads = 2 * w
+		}
+	}
+
+	p.Reads = oooReads + levtReads
+	p.Writes = oooWrites + vpWrites
+
+	// Banked organization (§6.3): EE/prediction writes spread
+	// round-robin over the banks; LE/VT reads are capped per bank when
+	// the configuration limits them.
+	p.PerBankReads = oooReads
+	p.PerBankWrites = oooWrites
+	if cfg.ValuePrediction {
+		p.PerBankWrites += ceilDiv(vpWrites, cfg.PRF.Banks)
+		if cfg.PRF.LEVTReadPortsPerBank > 0 {
+			p.PerBankReads += cfg.PRF.LEVTReadPortsPerBank
+		} else {
+			p.PerBankReads += ceilDiv(levtReads, cfg.PRF.Banks)
+		}
+	}
+	return p
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// AreaFactor estimates relative PRF area using Zyuban & Kogge:
+// area ∝ registers × (R+W) × (R+2W), evaluated per bank and summed.
+func AreaFactor(cfg config.Config) float64 {
+	p := PortsFor(cfg)
+	regsPerBank := float64(cfg.PRF.IntRegs+cfg.PRF.FPRegs) / float64(cfg.PRF.Banks)
+	perBank := regsPerBank *
+		float64(p.PerBankReads+p.PerBankWrites) *
+		float64(p.PerBankReads+2*p.PerBankWrites)
+	return perBank * float64(cfg.PRF.Banks)
+}
+
+// SchedulerFactor is a first-order Wakeup & Select cost: each IQ entry
+// broadcasts against issue-width result tags per source operand, and
+// Select arbitrates issue-width grants over the whole queue.
+func SchedulerFactor(cfg config.Config) float64 {
+	return float64(cfg.IQSize) * float64(2*cfg.IssueWidth)
+}
+
+// BypassFactor grows quadratically with the number of simultaneous
+// producers on the network (§1: "the complexity of the bypass network
+// grows quadratically with the number of functional units").
+func BypassFactor(cfg config.Config) float64 {
+	return float64(cfg.IssueWidth) * float64(cfg.IssueWidth)
+}
+
+// Report compares configurations against a baseline, reproducing the
+// Section 6 numbers as a table: port counts, relative PRF area,
+// scheduler and bypass factors.
+func Report(baseline config.Config, others ...config.Config) *stats.Table {
+	t := stats.NewTable(
+		"Section 6: hardware complexity (relative to "+baseline.Name+")",
+		"configuration",
+		"PRF_R", "PRF_W", "bank_R", "bank_W", "PRF_area", "scheduler", "bypass")
+	t.Note = "PRF area per Zyuban-Kogge regs*(R+W)*(R+2W), per bank; scheduler ~ IQ*2*issue; bypass ~ issue^2"
+	baseArea := AreaFactor(baseline)
+	baseSched := SchedulerFactor(baseline)
+	baseByp := BypassFactor(baseline)
+	add := func(c config.Config) {
+		p := PortsFor(c)
+		t.AddRow(c.Name,
+			float64(p.Reads), float64(p.Writes),
+			float64(p.PerBankReads), float64(p.PerBankWrites),
+			AreaFactor(c)/baseArea,
+			SchedulerFactor(c)/baseSched,
+			BypassFactor(c)/baseByp)
+	}
+	add(baseline)
+	for _, c := range others {
+		add(c)
+	}
+	return t
+}
+
+// Section6 builds the paper's comparison: the 6-issue baseline, the
+// naive VP machine, idealized EOLE_4_64, and the practical banked/
+// port-limited EOLE.
+func Section6() *stats.Table {
+	base, err := config.Named("Baseline_6_64")
+	if err != nil {
+		panic(err)
+	}
+	vp, _ := config.Named("Baseline_VP_6_64")
+	eole4, _ := config.Named("EOLE_4_64")
+	practical, _ := config.Named("EOLE_4_64_4ports_4banks")
+	return Report(base, vp, eole4, practical)
+}
+
+// Summary states the paper's §6 conclusions with the model's numbers.
+func Summary() string {
+	base, _ := config.Named("Baseline_6_64")
+	vp, _ := config.Named("Baseline_VP_6_64")
+	eole4, _ := config.Named("EOLE_4_64")
+	practical, _ := config.Named("EOLE_4_64_4ports_4banks")
+	pb := PortsFor(base)
+	pp := PortsFor(practical)
+	return fmt.Sprintf(`Section 6 conclusions from the model:
+  naive VP PRF area        : %.1fx the baseline ("prohibitive")
+  unbanked EOLE_4_64 area  : %.1fx the baseline (paper: ~4x)
+  practical EOLE per bank  : %dR/%dW vs baseline %dR/%dW (paper: equal)
+  practical EOLE total area: %.2fx the baseline
+  scheduler factor         : %.2fx (4-issue, same IQ)
+  bypass factor            : %.2fx (4 vs 6 issue)`,
+		AreaFactor(vp)/AreaFactor(base),
+		AreaFactor(eole4)/AreaFactor(base),
+		pp.PerBankReads, pp.PerBankWrites, pb.PerBankReads, pb.PerBankWrites,
+		AreaFactor(practical)/AreaFactor(base),
+		SchedulerFactor(practical)/SchedulerFactor(base),
+		BypassFactor(practical)/BypassFactor(base))
+}

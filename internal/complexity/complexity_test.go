@@ -1,0 +1,121 @@
+package complexity
+
+import (
+	"strings"
+	"testing"
+
+	"eole/internal/config"
+)
+
+func named(t *testing.T, n string) config.Config {
+	t.Helper()
+	c, err := config.Named(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBaselinePortsMatchPaper(t *testing.T) {
+	// §6.2: baseline 6-issue = 12 read / 6 write ports.
+	p := PortsFor(named(t, "Baseline_6_64"))
+	if p.Reads != 12 || p.Writes != 6 {
+		t.Fatalf("baseline ports = %dR/%dW, paper says 12R/6W", p.Reads, p.Writes)
+	}
+}
+
+func TestNaiveVPPortsMatchPaper(t *testing.T) {
+	// §6.2: Baseline_VP_6_64 needs 14 write (8 predictions + 6 OoO)
+	// and 20 read ports (8 validation/training + 12 OoO).
+	p := PortsFor(named(t, "Baseline_VP_6_64"))
+	if p.Writes != 14 {
+		t.Errorf("VP baseline writes = %d, paper says 14", p.Writes)
+	}
+	if p.Reads != 20 {
+		t.Errorf("VP baseline reads = %d, paper says 20", p.Reads)
+	}
+}
+
+func TestEOLE4PortsMatchPaper(t *testing.T) {
+	// §6.2: EOLE_4_64 (unbanked) = 12 write (8 EE + 4 OoO) and 24 read
+	// (8 OoO + 16 LE/validation/training) ports.
+	p := PortsFor(named(t, "EOLE_4_64"))
+	if p.Writes != 12 {
+		t.Errorf("EOLE_4_64 writes = %d, paper says 12", p.Writes)
+	}
+	if p.Reads != 24 {
+		t.Errorf("EOLE_4_64 reads = %d, paper says 24", p.Reads)
+	}
+}
+
+func TestUnbankedEOLEAreaIsAboutFourX(t *testing.T) {
+	// §6.2: "the area cost of the EOLE PRF would be 4 times the
+	// initial area cost of the 6-issue baseline PRF".
+	ratio := AreaFactor(named(t, "EOLE_4_64")) / AreaFactor(named(t, "Baseline_6_64"))
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Fatalf("unbanked EOLE area = %.2fx baseline, paper says ~4x", ratio)
+	}
+}
+
+func TestPracticalEOLEMatchesBaselinePorts(t *testing.T) {
+	// §6.3: the 4-bank, 4-LE/VT-port EOLE has "a total of 12 read
+	// ports and 6 write ports [per bank], just as the baseline 6-issue
+	// configuration without VP".
+	pb := PortsFor(named(t, "Baseline_6_64"))
+	pp := PortsFor(named(t, "EOLE_4_64_4ports_4banks"))
+	if pp.PerBankReads != pb.PerBankReads {
+		t.Errorf("practical EOLE bank reads = %d, baseline = %d",
+			pp.PerBankReads, pb.PerBankReads)
+	}
+	if pp.PerBankWrites != pb.PerBankWrites {
+		t.Errorf("practical EOLE bank writes = %d, baseline = %d",
+			pp.PerBankWrites, pb.PerBankWrites)
+	}
+}
+
+func TestPracticalEOLEAreaNearBaseline(t *testing.T) {
+	// §6.3: "the total area and power consumption of the PRF of a
+	// 4-issue EOLE core is similar to that of a baseline 6-issue core".
+	ratio := AreaFactor(named(t, "EOLE_4_64_4ports_4banks")) /
+		AreaFactor(named(t, "Baseline_6_64"))
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("practical EOLE PRF area = %.2fx baseline, paper says ~1x", ratio)
+	}
+}
+
+func TestSchedulerAndBypassShrink(t *testing.T) {
+	base := named(t, "Baseline_6_64")
+	eole := named(t, "EOLE_4_64")
+	if SchedulerFactor(eole) >= SchedulerFactor(base) {
+		t.Error("4-issue scheduler must be cheaper")
+	}
+	// bypass ∝ width²: 16/36.
+	if r := BypassFactor(eole) / BypassFactor(base); r < 0.4 || r > 0.5 {
+		t.Errorf("bypass ratio %.3f, want (4/6)^2 ≈ 0.44", r)
+	}
+}
+
+func TestVTAGEWriteDemandVsEOLE(t *testing.T) {
+	// The paper notes the naive VP PRF (20R/14W) is "slightly less
+	// than EOLE_4_64" (24R/12W) — both prohibitive unbanked.
+	vp := PortsFor(named(t, "Baseline_VP_6_64"))
+	eo := PortsFor(named(t, "EOLE_4_64"))
+	if !(vp.Reads < eo.Reads && vp.Writes > eo.Writes) {
+		t.Errorf("port relation wrong: VP %dR/%dW vs EOLE %dR/%dW",
+			vp.Reads, vp.Writes, eo.Reads, eo.Writes)
+	}
+}
+
+func TestReportAndSummaryRender(t *testing.T) {
+	tb := Section6()
+	out := tb.Render()
+	for _, want := range []string{"Baseline_6_64", "EOLE_4_64_4ports_4banks", "PRF_area"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Section 6 table missing %q", want)
+		}
+	}
+	s := Summary()
+	if !strings.Contains(s, "prohibitive") || !strings.Contains(s, "4x") {
+		t.Errorf("summary missing conclusions:\n%s", s)
+	}
+}

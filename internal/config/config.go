@@ -1,0 +1,232 @@
+// Package config defines machine configurations for the simulator and
+// provides every named configuration the paper evaluates
+// (Baseline_6_64, Baseline_VP_6_64, EOLE_4_64, OLE_4_64, ...).
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"eole/internal/regfile"
+)
+
+// Config describes one machine. Zero values are invalid; start from
+// Baseline6_64() or another constructor and tweak.
+type Config struct {
+	Name string
+
+	// Front end (Table 1: 8-wide fetch with at most 2 taken
+	// branches/cycle, decode, rename; deep 15-cycle front end).
+	FetchWidth       int
+	MaxTakenPerFetch int
+	RenameWidth      int
+	FetchToRenameLag int // cycles between fetch and rename of a µ-op
+	FetchQueueSize   int
+
+	// Out-of-order engine.
+	IssueWidth int
+	ROBSize    int
+	IQSize     int
+	LQSize     int
+	SQSize     int
+
+	// Functional units (Table 1).
+	NumALU      int
+	NumMulDiv   int
+	NumFP       int
+	NumFPMulDiv int
+	NumMemPorts int
+
+	// Retirement.
+	CommitWidth int
+
+	// Value prediction.
+	ValuePrediction bool
+	PredictorName   string // constructor name in internal/vpred
+
+	// EOLE features.
+	EarlyExecution bool
+	EEDepth        int // ALU stages in the Early Execution block (Fig 2)
+	LateExecution  bool
+	LEBranches     bool // resolve very-high-confidence branches at LE/VT
+	// LEReturns additionally resolves very-high-confidence returns and
+	// register-indirect jumps at LE/VT — the §7 future-work extension
+	// ("one could postpone the resolution of high confidence ones
+	// until the LE stage"). Off in all paper configurations.
+	LEReturns bool
+	LEWidth   int // ALUs in the LE/VT stage (commit width by default)
+
+	// Physical register file.
+	PRF regfile.Config
+
+	// Penalties. ValueMispredictPenalty is the fetch-restart cost of a
+	// commit-time squash (the paper: 21 cycles minimum); the branch
+	// penalty emerges from resolve time + FetchToRenameLag.
+	ValueMispredictPenalty int
+}
+
+// Validate rejects structurally impossible configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth < 1 || c.RenameWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1:
+		return fmt.Errorf("config %s: widths must be positive", c.Name)
+	case c.ROBSize < 1 || c.IQSize < 1 || c.LQSize < 1 || c.SQSize < 1:
+		return fmt.Errorf("config %s: queue sizes must be positive", c.Name)
+	case c.IQSize > c.ROBSize:
+		return fmt.Errorf("config %s: IQ (%d) larger than ROB (%d)", c.Name, c.IQSize, c.ROBSize)
+	case (c.EarlyExecution || c.LateExecution) && !c.ValuePrediction:
+		return fmt.Errorf("config %s: EOLE requires value prediction", c.Name)
+	case c.LEReturns && !c.LateExecution:
+		return fmt.Errorf("config %s: LEReturns requires Late Execution", c.Name)
+	case c.EarlyExecution && (c.EEDepth < 1 || c.EEDepth > 2):
+		return fmt.Errorf("config %s: EE depth must be 1 or 2", c.Name)
+	}
+	return c.PRF.Validate()
+}
+
+// baseline returns the Table 1 machine: 6-issue, 64-entry IQ, 192-entry
+// ROB, 19-cycle fetch-to-commit, no value prediction.
+func baseline() Config {
+	return Config{
+		Name:             "Baseline_6_64",
+		FetchWidth:       8,
+		MaxTakenPerFetch: 2,
+		RenameWidth:      8,
+		FetchToRenameLag: 12, // deep front end: ~15 cycles to dispatch
+		// The queue holds every µ-op in transit through the front-end
+		// pipe (FetchWidth × FetchToRenameLag) plus buffering slack;
+		// anything smaller throttles sustained rename bandwidth.
+		FetchQueueSize: 8*12 + 32,
+		IssueWidth:     6,
+		ROBSize:        192,
+		IQSize:         64,
+		LQSize:         48,
+		SQSize:         48,
+		NumALU:         6,
+		NumMulDiv:      4,
+		NumFP:          6,
+		NumFPMulDiv:    4,
+		NumMemPorts:    4,
+		CommitWidth:    8,
+		PRF:            regfile.DefaultConfig(),
+
+		ValueMispredictPenalty: 21,
+	}
+}
+
+// Baseline6_64 is the no-VP reference machine of Table 1/Figure 6.
+func Baseline6_64() Config { return baseline() }
+
+// BaselineVP adds the VTAGE-2DStride predictor with validation at
+// commit (one extra pre-commit LE/VT cycle) at the given issue width
+// and IQ size: Baseline_VP_<issue>_<iq>.
+func BaselineVP(issue, iq int) Config {
+	c := baseline()
+	c.Name = fmt.Sprintf("Baseline_VP_%d_%d", issue, iq)
+	c.IssueWidth = issue
+	c.IQSize = iq
+	c.ValuePrediction = true
+	c.PredictorName = "VTAGE-2DStride"
+	return c
+}
+
+// EOLE returns the full {Early | OoO | Late} Execution machine:
+// EOLE_<issue>_<iq>. Ports and banks are unconstrained (the Section 5
+// idealization: EE/LE treat any group of up to 8 µ-ops per cycle).
+func EOLE(issue, iq int) Config {
+	c := BaselineVP(issue, iq)
+	c.Name = fmt.Sprintf("EOLE_%d_%d", issue, iq)
+	c.EarlyExecution = true
+	c.EEDepth = 1
+	c.LateExecution = true
+	c.LEBranches = true
+	c.LEWidth = c.CommitWidth
+	return c
+}
+
+// OLE removes Early Execution (Late Execution only, §6.5).
+func OLE(issue, iq int) Config {
+	c := EOLE(issue, iq)
+	c.Name = fmt.Sprintf("OLE_%d_%d", issue, iq)
+	c.EarlyExecution = false
+	c.EEDepth = 0
+	return c
+}
+
+// EOE removes Late Execution (Early Execution only, §6.5).
+func EOE(issue, iq int) Config {
+	c := EOLE(issue, iq)
+	c.Name = fmt.Sprintf("EOE_%d_%d", issue, iq)
+	c.LateExecution = false
+	c.LEBranches = false
+	return c
+}
+
+// WithBanks applies PRF banking (Figure 10).
+func WithBanks(c Config, banks int) Config {
+	c.Name = fmt.Sprintf("%s_%dbanks", c.Name, banks)
+	c.PRF.Banks = banks
+	return c
+}
+
+// WithLEVTPorts caps LE/VT read ports per bank (Figure 11).
+func WithLEVTPorts(c Config, ports int) Config {
+	c.Name = fmt.Sprintf("%s_%dports", c.Name, ports)
+	c.PRF.LEVTReadPortsPerBank = ports
+	return c
+}
+
+// WithLEReturns enables the §7 extension: very-high-confidence returns
+// and indirect jumps resolve at the LE/VT stage.
+func WithLEReturns(c Config) Config {
+	c.Name = c.Name + "_LEret"
+	c.LEReturns = true
+	return c
+}
+
+// EOLE4_64Practical is the headline practical design of Figure 12:
+// EOLE_4_64 with a 4-bank PRF and 4 LE/VT read ports per bank.
+func EOLE4_64Practical() Config {
+	c := EOLE(4, 64)
+	c.PRF.Banks = 4
+	c.PRF.LEVTReadPortsPerBank = 4
+	c.Name = "EOLE_4_64_4ports_4banks"
+	return c
+}
+
+// Named resolves every configuration name used in the experiments.
+func Named(name string) (Config, error) {
+	all := map[string]func() Config{
+		"Baseline_6_64":           Baseline6_64,
+		"Baseline_VP_6_64":        func() Config { return BaselineVP(6, 64) },
+		"Baseline_VP_4_64":        func() Config { return BaselineVP(4, 64) },
+		"Baseline_VP_6_48":        func() Config { return BaselineVP(6, 48) },
+		"Baseline_VP_8_64":        func() Config { return BaselineVP(8, 64) },
+		"EOLE_6_64":               func() Config { return EOLE(6, 64) },
+		"EOLE_4_64":               func() Config { return EOLE(4, 64) },
+		"EOLE_6_48":               func() Config { return EOLE(6, 48) },
+		"OLE_4_64":                func() Config { return OLE(4, 64) },
+		"EOE_4_64":                func() Config { return EOE(4, 64) },
+		"EOLE_4_64_4ports_4banks": EOLE4_64Practical,
+	}
+	f, ok := all[name]
+	if !ok {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Config{}, fmt.Errorf("config: unknown configuration %q (known: %v)", name, names)
+	}
+	return f(), nil
+}
+
+// KnownNames lists the named configurations.
+func KnownNames() []string {
+	names := []string{
+		"Baseline_6_64", "Baseline_VP_6_64", "Baseline_VP_4_64",
+		"Baseline_VP_6_48", "Baseline_VP_8_64", "EOLE_6_64", "EOLE_4_64",
+		"EOLE_6_48", "OLE_4_64", "EOE_4_64", "EOLE_4_64_4ports_4banks",
+	}
+	return names
+}

@@ -1,0 +1,120 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllNamedConfigsValid(t *testing.T) {
+	for _, name := range KnownNames() {
+		c, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%s): %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("Named(%s).Name = %s", name, c.Name)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := Named("bogus"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestPaperConfigurationsMatchTable1(t *testing.T) {
+	b := Baseline6_64()
+	if b.IssueWidth != 6 || b.IQSize != 64 || b.ROBSize != 192 ||
+		b.LQSize != 48 || b.SQSize != 48 || b.FetchWidth != 8 ||
+		b.RenameWidth != 8 || b.CommitWidth != 8 {
+		t.Fatalf("baseline does not match Table 1: %+v", b)
+	}
+	if b.NumALU != 6 || b.NumMulDiv != 4 || b.NumFP != 6 || b.NumFPMulDiv != 4 || b.NumMemPorts != 4 {
+		t.Fatal("functional units do not match Table 1")
+	}
+	if b.ValuePrediction || b.EarlyExecution || b.LateExecution {
+		t.Fatal("baseline must have no VP/EOLE")
+	}
+	if b.PRF.IntRegs != 256 || b.PRF.FPRegs != 256 {
+		t.Fatal("PRF does not match Table 1 (256/256)")
+	}
+}
+
+func TestVPBaselineAndEOLEDerivation(t *testing.T) {
+	vp := BaselineVP(4, 48)
+	if vp.Name != "Baseline_VP_4_48" || vp.IssueWidth != 4 || vp.IQSize != 48 {
+		t.Fatalf("BaselineVP wrong: %+v", vp)
+	}
+	if !vp.ValuePrediction || vp.PredictorName != "VTAGE-2DStride" {
+		t.Fatal("VP baseline must use the Table 2 hybrid")
+	}
+	if vp.EarlyExecution || vp.LateExecution {
+		t.Fatal("VP baseline must not enable EOLE blocks")
+	}
+
+	e := EOLE(4, 64)
+	if !e.EarlyExecution || !e.LateExecution || !e.LEBranches || e.EEDepth != 1 {
+		t.Fatalf("EOLE config wrong: %+v", e)
+	}
+	if e.LEWidth != e.CommitWidth {
+		t.Fatal("Section 5 idealization: LE width = commit width")
+	}
+
+	o := OLE(4, 64)
+	if o.EarlyExecution || !o.LateExecution {
+		t.Fatal("OLE = late execution only")
+	}
+	eo := EOE(4, 64)
+	if !eo.EarlyExecution || eo.LateExecution || eo.LEBranches {
+		t.Fatal("EOE = early execution only")
+	}
+}
+
+func TestPracticalConfig(t *testing.T) {
+	c := EOLE4_64Practical()
+	if c.PRF.Banks != 4 || c.PRF.LEVTReadPortsPerBank != 4 {
+		t.Fatalf("practical config must be 4 banks / 4 ports: %+v", c.PRF)
+	}
+	if !strings.Contains(c.Name, "4ports_4banks") {
+		t.Fatalf("name %q", c.Name)
+	}
+}
+
+func TestWithBanksAndPorts(t *testing.T) {
+	c := WithBanks(EOLE(4, 64), 8)
+	if c.PRF.Banks != 8 || !strings.Contains(c.Name, "8banks") {
+		t.Fatalf("WithBanks wrong: %+v", c)
+	}
+	c = WithLEVTPorts(c, 3)
+	if c.PRF.LEVTReadPortsPerBank != 3 || !strings.Contains(c.Name, "3ports") {
+		t.Fatalf("WithLEVTPorts wrong: %+v", c)
+	}
+}
+
+func TestValidationCatchesBadConfigs(t *testing.T) {
+	cases := []func(c *Config){
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.IQSize = c.ROBSize + 1 },
+		func(c *Config) { c.EarlyExecution = true; c.ValuePrediction = false },
+		func(c *Config) { c.EEDepth = 3 },
+		func(c *Config) { c.PRF.Banks = 3 },
+	}
+	for i, mutate := range cases {
+		c := EOLE(4, 64)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestFetchQueueCoversFrontEndPipe(t *testing.T) {
+	// Regression for the rename-bandwidth ceiling: the queue must hold
+	// at least FetchWidth * FetchToRenameLag µ-ops.
+	b := Baseline6_64()
+	if b.FetchQueueSize < b.FetchWidth*b.FetchToRenameLag {
+		t.Fatalf("fetch queue %d smaller than front-end pipe %d",
+			b.FetchQueueSize, b.FetchWidth*b.FetchToRenameLag)
+	}
+}

@@ -1,0 +1,299 @@
+// Package core implements the paper's primary contribution: a
+// cycle-level model of the {Early | Out-of-Order | Late} Execution
+// microarchitecture (EOLE) on top of a value-predicting superscalar.
+//
+// The model is trace-driven: a prog.Source supplies the dynamic µ-op
+// stream of the correct path (values, addresses, branch outcomes), and
+// the core charges cycles against the Table 1 machine: an 8-wide
+// front end with TAGE + VTAGE-2DStride prediction, a 6/4-issue
+// out-of-order engine with a unified IQ (entries released at issue),
+// 192-entry ROB, 48/48 LQ/SQ with Store Sets, banked PRF, full cache
+// hierarchy and DDR3 memory, and the EOLE blocks: an Early Execution
+// ALU stage beside Rename and a Late Execution/Validation/Training
+// (LE/VT) pre-commit stage.
+//
+// Deliberate trace-driven idealizations (documented in DESIGN.md §3):
+// wrong-path µ-ops are not executed (mispredicted branches stall the
+// fetch stream until resolution instead), and predictors train in
+// fetch order rather than commit order. Squash recovery for value
+// mispredictions and memory-order violations is modelled exactly:
+// younger µ-ops are thrown away, re-fetched and re-executed.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eole/internal/bpred"
+	"eole/internal/cache"
+	"eole/internal/config"
+	"eole/internal/isa"
+	"eole/internal/prog"
+	"eole/internal/regfile"
+	"eole/internal/storeset"
+	"eole/internal/vpred"
+)
+
+const never = math.MaxUint64
+
+// uop is one in-flight dynamic µ-op with its pipeline state.
+type uop struct {
+	prog.MicroOp
+
+	// Predictor verdicts, cached at first fetch so replays do not
+	// retrain (predictors observe each dynamic µ-op exactly once).
+	predUsed    bool   // value prediction written to PRF
+	predValue   uint64 // the predicted value (for EE operand sourcing)
+	predCorrect bool   // value and derived flags match
+	brMispred   bool   // front end followed the wrong path
+	brVHC       bool   // very-high-confidence conditional branch
+
+	// Dynamic state (reset on replay).
+	fetched       bool // passed through fetch into the front-end queue
+	renamed       bool
+	inIQ          bool
+	issued        bool
+	earlyDone     bool  // executed in the EE block
+	eeStage       uint8 // EE ALU stage used (1 or 2)
+	late          bool  // single-cycle ALU deferred to LE/VT
+	lateBranch    bool  // VHC branch resolved at LE/VT
+	violation     bool  // load that issued past a conflicting store
+	storeExecuted bool  // store address computed (SQ entry resolved)
+	waitSeq       uint64
+	waitHas       bool // Store Sets predicted a dependence on waitSeq
+
+	fetchCycle  uint64
+	renameCycle uint64
+	readyCycle  uint64 // OoO execution completion
+	availCycle  uint64 // earliest cycle consumers can source the value
+
+	srcSeq  [2]uint64 // producer seqs (srcHas gates validity)
+	srcHas  [2]bool
+	srcBank [2]uint8
+
+	allocBank int8 // dest phys register bank (-1 = none)
+	allocFP   bool
+	prevBank  int8 // bank of the previous mapping of Dst (freed at commit)
+	prevHas   bool
+	prevFP    bool
+}
+
+type ratEntry struct {
+	seq  uint64
+	has  bool
+	bank uint8
+}
+
+// Stats aggregates everything the experiments report.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+	Replayed  uint64
+
+	CommittedALU    uint64
+	CommittedMem    uint64
+	CommittedBranch uint64
+	CommittedFP     uint64
+	CommittedOther  uint64
+
+	EarlyExecuted uint64 // committed µ-ops executed in the EE block
+	LateALU       uint64 // committed µ-ops executed in LE/VT
+	LateBranches  uint64 // committed VHC branches resolved in LE/VT
+	EEStage2      uint64 // of EarlyExecuted, needed the second ALU stage
+
+	VPEligible uint64 // committed VP-eligible µ-ops
+	VPUsed     uint64 // with a confident prediction written to the PRF
+	VPSquashes uint64 // commit-time value-misprediction squashes
+
+	BranchMispredicts uint64
+	MemViolations     uint64
+	LEVTPortStalls    uint64 // commit-group cutoffs due to read ports
+	RenameBankStalls  uint64 // rename stalls on an empty PRF bank
+	IQFullStalls      uint64
+	ROBFullStalls     uint64
+
+	// Pipeline diagnostics.
+	CommitStopHead  uint64 // commit cut short: head not complete
+	IssueSaturated  uint64 // cycles the full issue width was used
+	RenameSaturated uint64 // cycles the full rename width was used
+}
+
+// IPC returns committed µ-ops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// EEFraction is Figure 2's metric: early-executed per committed.
+func (s *Stats) EEFraction() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.EarlyExecuted) / float64(s.Committed)
+}
+
+// LEFraction is Figure 4's metric: late-executed (ALU + VHC branches)
+// per committed; disjoint from EEFraction by construction.
+func (s *Stats) LEFraction() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.LateALU+s.LateBranches) / float64(s.Committed)
+}
+
+// OffloadFraction is the paper's headline 10%-60% metric: committed
+// µ-ops that never entered the OoO engine.
+func (s *Stats) OffloadFraction() float64 { return s.EEFraction() + s.LEFraction() }
+
+// VPCoverage is used predictions per eligible µ-op.
+func (s *Stats) VPCoverage() float64 {
+	if s.VPEligible == 0 {
+		return 0
+	}
+	return float64(s.VPUsed) / float64(s.VPEligible)
+}
+
+// Core is one simulated machine instance.
+type Core struct {
+	cfg config.Config
+
+	src  prog.Source
+	bp   *bpred.Unit
+	vp   vpred.Predictor
+	mem  *cache.Hierarchy
+	ss   *storeset.StoreSets
+	prf  *regfile.PRF
+	levt *regfile.LEVTArbiter
+
+	// In-flight structures.
+	window  []uop  // ring buffer of renamed, uncommitted µ-ops
+	head    int    // ring index of oldest
+	count   int    // renamed in flight (== ROB occupancy)
+	headSeq uint64 // seq of window[head] (valid when count > 0)
+	fetchQ  []uop  // fetched, not yet renamed (FIFO)
+	replayQ []uop  // squashed µ-ops awaiting refetch (FIFO)
+	rat     [isa.NumArchRegs]ratEntry
+	commitB [isa.NumArchRegs]struct {
+		bank uint8
+		has  bool
+	}
+
+	iqCount int
+	lqCount int
+	sqCount int
+
+	// FU state.
+	divBusyUntil   []uint64
+	fpDivBusyUntil []uint64
+
+	// Fetch control.
+	fetchStallUntil uint64
+	fetchBlockedBy  uint64 // seq of unresolved mispredicted branch
+	fetchBlocked    bool
+	pending         uop // µ-op deferred by the taken-branch fetch limit
+	pendingValid    bool
+
+	// headPortWait counts cycles the window head has stalled on LE/VT
+	// read ports; a head whose reads exceed a bank's whole per-cycle
+	// budget spreads them over multiple cycles instead of deadlocking.
+	headPortWait int
+
+	tracer Tracer
+
+	now   uint64
+	stats Stats
+}
+
+// New builds a core for cfg, pulling µ-ops from src. It panics on an
+// invalid configuration (construction is static in experiments).
+func New(cfg config.Config, src prog.Source) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:            cfg,
+		src:            src,
+		bp:             bpred.NewUnit(),
+		mem:            cache.NewTable1Hierarchy(),
+		ss:             storeset.New(storeset.DefaultConfig()),
+		prf:            regfile.New(cfg.PRF),
+		levt:           regfile.NewLEVTArbiter(cfg.PRF),
+		window:         make([]uop, nextPow2(cfg.ROBSize+8)),
+		divBusyUntil:   make([]uint64, cfg.NumMulDiv),
+		fpDivBusyUntil: make([]uint64, cfg.NumFPMulDiv),
+	}
+	if cfg.ValuePrediction {
+		p, ok := vpred.NewByName(cfg.PredictorName)
+		if !ok {
+			panic(fmt.Sprintf("core: unknown value predictor %q", cfg.PredictorName))
+		}
+		c.vp = p
+	}
+	return c
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Memory exposes the cache hierarchy (for experiment reporting).
+func (c *Core) Memory() *cache.Hierarchy { return c.mem }
+
+// Branch exposes the branch prediction stack (for reporting).
+func (c *Core) Branch() *bpred.Unit { return c.bp }
+
+// at returns the window entry holding seq (which must be in flight).
+func (c *Core) at(seq uint64) *uop {
+	idx := (c.head + int(seq-c.headSeq)) & (len(c.window) - 1)
+	return &c.window[idx]
+}
+
+// inWindow reports whether seq is a renamed, uncommitted µ-op.
+func (c *Core) inWindow(seq uint64) bool {
+	return c.count > 0 && seq >= c.headSeq && seq < c.headSeq+uint64(c.count)
+}
+
+// Run simulates until n µ-ops have committed (or the source is
+// exhausted) and returns the stats. It can be called repeatedly to
+// extend a run (e.g. warm-up then measure).
+func (c *Core) Run(n uint64) *Stats {
+	target := c.stats.Committed + n
+	idleCycles := 0
+	for c.stats.Committed < target {
+		committedBefore := c.stats.Committed
+		c.commit()
+		c.issue()
+		c.rename()
+		if !c.fetch() && c.count == 0 && len(c.fetchQ) == 0 && len(c.replayQ) == 0 {
+			break // source exhausted and pipeline drained
+		}
+		c.now++
+		c.stats.Cycles++
+		if c.stats.Committed == committedBefore {
+			idleCycles++
+			if idleCycles > 500_000 {
+				panic(fmt.Sprintf("core: %s deadlocked at cycle %d (%d in flight, iq=%d)",
+					c.cfg.Name, c.now, c.count, c.iqCount))
+			}
+		} else {
+			idleCycles = 0
+		}
+	}
+	return &c.stats
+}
+
+// ResetStats zeroes the statistics (for warm-up / measure phases)
+// without touching microarchitectural state.
+func (c *Core) ResetStats() {
+	c.stats = Stats{Cycles: 0}
+}

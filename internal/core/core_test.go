@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/isa"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// buildCore makes a core over a custom program for white-box tests.
+func buildCore(t testing.TB, cfgName string, build func(b *prog.Builder), setup func(m *prog.Machine)) *Core {
+	t.Helper()
+	cfg, err := config.Named(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := prog.NewBuilder("test")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine(p)
+	if setup != nil {
+		setup(m)
+	}
+	return New(cfg, prog.MachineSource{M: m})
+}
+
+func TestCommitCountExact(t *testing.T) {
+	s := runConfig(t, "Baseline_6_64", "crafty", 0, 10_000)
+	if s.Committed < 10_000 || s.Committed > 10_000+8 {
+		t.Fatalf("committed %d, want 10000..10008 (commit-width overshoot only)", s.Committed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runConfig(t, "EOLE_4_64", "gzip", 5_000, 20_000)
+	b := runConfig(t, "EOLE_4_64", "gzip", 5_000, 20_000)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed ||
+		a.VPSquashes != b.VPSquashes || a.EarlyExecuted != b.EarlyExecuted {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFiniteProgramDrains(t *testing.T) {
+	// A halting program must commit every µ-op and stop.
+	c := buildCore(t, "Baseline_6_64", func(b *prog.Builder) {
+		r1 := isa.IntReg(1)
+		b.Movi(r1, 0)
+		for i := 0; i < 50; i++ {
+			b.Addi(r1, r1, 1)
+		}
+		b.Halt()
+	}, nil)
+	s := c.Run(1_000_000)
+	if s.Committed != 52 {
+		t.Fatalf("committed %d µ-ops of a 52-µ-op program", s.Committed)
+	}
+}
+
+func TestInOrderSemantics(t *testing.T) {
+	// The timing model must never commit more µ-ops than the trace
+	// provides, and cycles must exceed µ-ops / commit width.
+	s := runConfig(t, "Baseline_6_64", "vpr", 0, 15_000)
+	if s.Cycles < s.Committed/8 {
+		t.Fatalf("cycles %d below the commit-width bound for %d µ-ops", s.Cycles, s.Committed)
+	}
+}
+
+func TestNoVPMeansNoSquashes(t *testing.T) {
+	s := runConfig(t, "Baseline_6_64", "applu", 5_000, 30_000)
+	if s.VPSquashes != 0 || s.VPUsed != 0 {
+		t.Fatalf("no-VP config used predictions: used=%d squashes=%d", s.VPUsed, s.VPSquashes)
+	}
+	if s.EarlyExecuted != 0 || s.LateALU != 0 || s.LateBranches != 0 {
+		t.Fatal("no-EOLE config must not early/late-execute")
+	}
+}
+
+func TestVPSquashesAreRare(t *testing.T) {
+	// FPC keeps value mispredictions rare: under 2 squashes per 1000
+	// committed µ-ops on every benchmark (the paper's enabling claim).
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range workload.All() {
+		s := runConfig(t, "Baseline_VP_6_64", w.Short, 20_000, 50_000)
+		pki := 1000 * float64(s.VPSquashes) / float64(s.Committed)
+		if pki > 2.0 {
+			t.Errorf("%s: %.2f value squashes per kilo-µ-op, want <= 2", w.Short, pki)
+		}
+	}
+}
+
+func TestValuePredictionNeverBigSlowdown(t *testing.T) {
+	// Figure 6's property: "No slowdown is observed". Allow 5% noise
+	// for our synthetic kernels.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"gzip", "applu", "art", "crafty", "mcf", "hmmer", "h264ref"} {
+		base := runConfig(t, "Baseline_6_64", name, 20_000, 60_000)
+		vp := runConfig(t, "Baseline_VP_6_64", name, 20_000, 60_000)
+		if ratio := vp.IPC() / base.IPC(); ratio < 0.95 {
+			t.Errorf("%s: VP speedup %.3f, want >= 0.95", name, ratio)
+		}
+	}
+}
+
+func TestAppluGainsFromVP(t *testing.T) {
+	// applu is one of the paper's biggest VP winners (its relaxation
+	// recurrence collapses under prediction).
+	base := runConfig(t, "Baseline_6_64", "applu", 20_000, 60_000)
+	vp := runConfig(t, "Baseline_VP_6_64", "applu", 20_000, 60_000)
+	if ratio := vp.IPC() / base.IPC(); ratio < 1.2 {
+		t.Errorf("applu VP speedup = %.3f, want >= 1.2", ratio)
+	}
+}
+
+func TestOffloadRangeMatchesPaper(t *testing.T) {
+	// §3.4: offload ranges from <10% (milc) to ~50-60%+ (art, namd).
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	check := func(name string, lo, hi float64) {
+		s := runConfig(t, "EOLE_6_64", name, 20_000, 60_000)
+		if off := s.OffloadFraction(); off < lo || off > hi {
+			t.Errorf("%s offload = %.3f, want in [%.2f,%.2f]", name, off, lo, hi)
+		}
+	}
+	check("milc", 0.0, 0.15)
+	check("lbm", 0.0, 0.20)
+	check("hmmer", 0.0, 0.25)
+	check("art", 0.50, 1.0)
+	check("namd", 0.50, 1.0)
+}
+
+func TestEEAndLEDisjoint(t *testing.T) {
+	// A µ-op is counted at most once: EE + LE fractions can never
+	// exceed 1 and the late set excludes early-executed µ-ops.
+	for _, name := range []string{"art", "namd", "vortex"} {
+		s := runConfig(t, "EOLE_6_64", name, 10_000, 40_000)
+		if s.EEFraction()+s.LEFraction() > 1.0 {
+			t.Errorf("%s: EE+LE = %.3f > 1", name, s.EEFraction()+s.LEFraction())
+		}
+		if s.EarlyExecuted+s.LateALU+s.LateBranches > s.Committed {
+			t.Errorf("%s: offloaded more than committed", name)
+		}
+	}
+}
+
+func TestEOLERecoversIssueWidth(t *testing.T) {
+	// The paper's headline (Figure 7/12): EOLE_4_64 performs within a
+	// few percent of Baseline_VP_6_64, while Baseline_VP_4_64 loses
+	// significantly on ILP-heavy benchmarks.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"namd", "crafty", "vortex", "art"} {
+		vp6 := runConfig(t, "Baseline_VP_6_64", name, 20_000, 60_000).IPC()
+		vp4 := runConfig(t, "Baseline_VP_4_64", name, 20_000, 60_000).IPC()
+		eole4 := runConfig(t, "EOLE_4_64", name, 20_000, 60_000).IPC()
+		if vp4/vp6 > 0.95 {
+			t.Errorf("%s: 4-issue VP baseline keeps %.3f of 6-issue; kernel not issue-sensitive", name, vp4/vp6)
+		}
+		if eole4/vp6 < 0.95 {
+			t.Errorf("%s: EOLE_4_64 reaches only %.3f of Baseline_VP_6_64", name, eole4/vp6)
+		}
+	}
+}
+
+func TestLEVTPortConstraintBites(t *testing.T) {
+	// Figure 11: with only 2 LE/VT read ports per bank, commit
+	// throttles; with 4 it should not (relative to unconstrained).
+	cfg4, err := config.Named("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ports int) *Stats {
+		c := cfg4
+		c.PRF.Banks = 4
+		c.PRF.LEVTReadPortsPerBank = ports
+		c.Name = "test_ports"
+		w, _ := workload.ByName("art")
+		cr := New(c, prog.MachineSource{M: w.NewMachine()})
+		cr.Run(20_000)
+		cr.ResetStats()
+		return cr.Run(60_000)
+	}
+	two, four := run(2), run(4)
+	if two.LEVTPortStalls == 0 {
+		t.Error("2-port LE/VT never stalled on art (heavy offload workload)")
+	}
+	if two.IPC() >= four.IPC() {
+		t.Errorf("2 ports (%.3f IPC) should be slower than 4 ports (%.3f IPC)",
+			two.IPC(), four.IPC())
+	}
+}
+
+func TestBankingCostsLittle(t *testing.T) {
+	// Figure 10: banking the PRF costs only a few percent.
+	cfg, err := config.Named("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(banks int) float64 {
+		c := cfg
+		c.PRF.Banks = banks
+		c.Name = "test_banks"
+		w, _ := workload.ByName("crafty")
+		cr := New(c, prog.MachineSource{M: w.NewMachine()})
+		cr.Run(20_000)
+		cr.ResetStats()
+		return cr.Run(60_000).IPC()
+	}
+	one, four := run(1), run(4)
+	if four < one*0.95 {
+		t.Errorf("4-bank PRF loses %.1f%%, paper says ~2%% max", 100*(1-four/one))
+	}
+}
+
+func TestMemoryViolationSquashAndLearning(t *testing.T) {
+	// A tight store->load same-address loop must first violate, then
+	// Store Sets learns and violations stop.
+	c := buildCore(t, "Baseline_6_64", func(b *prog.Builder) {
+		r1, r2, r3 := isa.IntReg(1), isa.IntReg(2), isa.IntReg(3)
+		b.Movi(r1, 0x10000)
+		b.Movi(r2, 0)
+		b.Label("loop")
+		b.Addi(r2, r2, 1)
+		b.St(r2, r1, 0)
+		b.Ld(r3, r1, 0) // must forward from the store
+		b.Add(r2, r2, r3)
+		b.Jmp("loop")
+	}, nil)
+	s := c.Run(50_000)
+	if s.MemViolations == 0 {
+		t.Fatal("expected at least one memory-order violation before training")
+	}
+	first := s.MemViolations
+	c.ResetStats()
+	s = c.Run(50_000)
+	if s.MemViolations >= first && s.MemViolations > 5 {
+		t.Errorf("violations did not decay after training: %d then %d", first, s.MemViolations)
+	}
+}
+
+func TestBranchMispredictsSlowDown(t *testing.T) {
+	// vpr (coin-flip branch) must run far below its no-misprediction
+	// potential; gobmk likewise.
+	s := runConfig(t, "Baseline_6_64", "vpr", 10_000, 40_000)
+	if s.BranchMispredicts == 0 {
+		t.Fatal("vpr must mispredict")
+	}
+	if s.IPC() > 2.0 {
+		t.Errorf("vpr IPC %.2f too high for a mispredict-bound workload", s.IPC())
+	}
+}
+
+func TestMcfIsMemoryBound(t *testing.T) {
+	s := runConfig(t, "Baseline_6_64", "mcf", 2_000, 10_000)
+	if ipc := s.IPC(); ipc > 0.3 {
+		t.Errorf("mcf IPC = %.3f, must be DRAM-bound (< 0.3)", ipc)
+	}
+}
+
+func TestHighIPCWorkloadsSaturate(t *testing.T) {
+	// hmmer/namd must stress the issue width (the property driving
+	// Figures 7/8).
+	for _, name := range []string{"hmmer", "namd"} {
+		s := runConfig(t, "Baseline_6_64", name, 10_000, 40_000)
+		if s.IPC() < 3.0 {
+			t.Errorf("%s IPC = %.2f, want >= 3 (ILP-heavy)", name, s.IPC())
+		}
+	}
+}
+
+func TestEEDepth2SupersetOfDepth1(t *testing.T) {
+	// Figure 2: two ALU stages can only increase the EE fraction, and
+	// only slightly.
+	cfg, err := config.Named("EOLE_6_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(depth int) float64 {
+		c := cfg
+		c.EEDepth = depth
+		c.Name = "test_ee"
+		w, _ := workload.ByName("crafty")
+		cr := New(c, prog.MachineSource{M: w.NewMachine()})
+		cr.Run(10_000)
+		cr.ResetStats()
+		return cr.Run(40_000).EEFraction()
+	}
+	d1, d2 := run(1), run(2)
+	if d2 < d1-0.005 {
+		t.Errorf("EE depth 2 fraction (%.3f) below depth 1 (%.3f)", d2, d1)
+	}
+	if d2 > d1+0.25 {
+		t.Errorf("EE depth 2 adds %.3f; paper says the second stage adds little", d2-d1)
+	}
+}
+
+func TestStatsAccountingConsistency(t *testing.T) {
+	s := runConfig(t, "EOLE_4_64", "vortex", 10_000, 30_000)
+	sum := s.CommittedALU + s.CommittedMem + s.CommittedFP + s.CommittedBranch + s.CommittedOther
+	if sum != s.Committed {
+		t.Fatalf("class counts sum to %d, committed %d", sum, s.Committed)
+	}
+	if s.VPUsed > s.VPEligible {
+		t.Fatal("used predictions exceed eligible µ-ops")
+	}
+	if s.EEStage2 > s.EarlyExecuted {
+		t.Fatal("stage-2 EE count exceeds total EE count")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg, _ := config.Named("EOLE_4_64")
+	cfg.ValuePrediction = false // EOLE without VP is impossible
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for EOLE without value prediction")
+		}
+	}()
+	w, _ := workload.ByName("gzip")
+	New(cfg, prog.MachineSource{M: w.NewMachine()})
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+func tracedRun(t *testing.T, cfgName, wl string, from, to, run uint64) *PipeTrace {
+	t.Helper()
+	cfg, err := config.Named(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg, prog.MachineSource{M: w.NewMachine()})
+	pt := NewPipeTrace(from, to)
+	c.SetTracer(pt)
+	c.Run(run)
+	return pt
+}
+
+func TestPipeTraceCapturesLifecycle(t *testing.T) {
+	pt := tracedRun(t, "Baseline_6_64", "crafty", 100, 140, 2_000)
+	sum := pt.Summary()
+	for _, stage := range []string{"fetch", "rename", "issue", "commit"} {
+		if sum[stage] == 0 {
+			t.Errorf("no %q events captured: %v", stage, sum)
+		}
+	}
+	// Every traced µ-op fetches exactly once on the no-squash path.
+	if sum["fetch"] != 41 {
+		t.Errorf("fetch events = %d, want 41", sum["fetch"])
+	}
+	out := pt.String()
+	if !strings.Contains(out, "pipetrace") || !strings.Contains(out, "|") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestPipeTraceShowsEOLEStages(t *testing.T) {
+	pt := tracedRun(t, "EOLE_6_64", "art", 40_000, 40_200, 45_000)
+	sum := pt.Summary()
+	if sum["early"] == 0 {
+		t.Error("art on EOLE must early-execute traced µ-ops")
+	}
+	if sum["late"] == 0 {
+		t.Error("art on EOLE must late-execute traced µ-ops")
+	}
+	// Early/late-executed µ-ops never issue into the OoO engine, so
+	// issue events must be fewer than commits.
+	if sum["issue"] >= sum["commit"] {
+		t.Errorf("issue=%d >= commit=%d; offload invisible", sum["issue"], sum["commit"])
+	}
+}
+
+func TestPipeTraceOrderingInvariant(t *testing.T) {
+	pt := tracedRun(t, "EOLE_4_64", "gzip", 5_000, 5_100, 10_000)
+	for seq, row := range pt.rows {
+		var fetch, rename, commit uint64
+		var sawCommit bool
+		for _, e := range row.stages {
+			switch e.stage {
+			case "fetch":
+				if fetch == 0 || e.cycle < fetch {
+					fetch = e.cycle
+				}
+			case "rename":
+				rename = e.cycle
+			case "commit":
+				commit, sawCommit = e.cycle, true
+			}
+		}
+		if !sawCommit {
+			continue // still in flight at run end
+		}
+		if rename < fetch || commit < rename {
+			t.Fatalf("seq %d: stage cycles out of order f=%d r=%d c=%d", seq, fetch, rename, commit)
+		}
+	}
+}
+
+func TestPipeTraceEmpty(t *testing.T) {
+	pt := NewPipeTrace(10, 20)
+	if out := pt.String(); !strings.Contains(out, "no events") {
+		t.Fatalf("empty trace render: %q", out)
+	}
+}

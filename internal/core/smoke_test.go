@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// runConfig executes n µ-ops of a workload on a named configuration
+// after a warm-up period, returning the measured stats.
+func runConfig(tb testing.TB, cfgName, wlName string, warm, n uint64) *Stats {
+	tb.Helper()
+	cfg, err := config.Named(cfgName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := workload.ByName(wlName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := New(cfg, prog.MachineSource{M: w.NewMachine()})
+	c.Run(warm)
+	c.ResetStats()
+	return c.Run(n)
+}
+
+func TestSmokeAllWorkloadsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Short, func(t *testing.T) {
+			s := runConfig(t, "Baseline_6_64", w.Short, 5000, 30_000)
+			t.Logf("%-10s IPC=%.3f (paper %.3f) brMPKI=%.2f vpcov=%.2f",
+				w.Short, s.IPC(), w.PaperIPC,
+				1000*float64(s.BranchMispredicts)/float64(s.Committed),
+				s.VPCoverage())
+			if s.Committed < 30_000 || s.Committed > 30_000+8 {
+				t.Fatalf("committed %d, want 30000..30008", s.Committed)
+			}
+			if ipc := s.IPC(); ipc <= 0 || ipc > 8 {
+				t.Fatalf("IPC = %v out of range", ipc)
+			}
+		})
+	}
+}
+
+func TestSmokeEOLE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"namd", "art", "milc", "hmmer", "crafty"} {
+		s := runConfig(t, "EOLE_6_64", name, 10_000, 30_000)
+		t.Logf("%-10s IPC=%.3f EE=%.3f LE=%.3f(br %.3f) offload=%.3f vpcov=%.2f squash=%d",
+			name, s.IPC(), s.EEFraction(), s.LEFraction(),
+			float64(s.LateBranches)/float64(s.Committed),
+			s.OffloadFraction(), s.VPCoverage(), s.VPSquashes)
+	}
+}

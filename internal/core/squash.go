@@ -1,0 +1,89 @@
+package core
+
+import "eole/internal/isa"
+
+// resetForReplay strips a µ-op back to its fetch-time template: the
+// trace content and the cached predictor verdicts survive (each
+// dynamic µ-op trains the predictors exactly once, at first fetch);
+// all pipeline state is cleared.
+func resetForReplay(u *uop) uop {
+	return uop{
+		MicroOp:     u.MicroOp,
+		predUsed:    u.predUsed,
+		predValue:   u.predValue,
+		predCorrect: u.predCorrect,
+		brMispred:   u.brMispred,
+		brVHC:       u.brVHC,
+		allocBank:   -1,
+		prevBank:    -1,
+	}
+}
+
+// squashYounger throws away every µ-op younger than seq — the whole
+// renamed window beyond it, the front-end queue, and the fetch pending
+// slot — queues them for refetch in program order, rolls back rename
+// state (PRF free lists, RAT, queue occupancies), and restarts fetch
+// at the given cycle. This is the paper's recovery mechanism for value
+// mispredictions and memory-order violations: a full pipeline squash,
+// no selective replay.
+func (c *Core) squashYounger(seq uint64, restartFetch uint64) {
+	mask := len(c.window) - 1
+	var replays []uop
+
+	// Window entries strictly younger than seq (the window head is
+	// already past seq when called from commit).
+	keep := 0
+	if c.count > 0 && seq >= c.headSeq {
+		keep = int(seq-c.headSeq) + 1
+	}
+	for i := keep; i < c.count; i++ {
+		u := &c.window[(c.head+i)&mask]
+		if u.allocBank >= 0 {
+			c.prf.Free(u.allocFP, int(u.allocBank))
+		}
+		if u.inIQ {
+			c.iqCount--
+		}
+		switch u.Op.Class() {
+		case isa.ClassLoad:
+			c.lqCount--
+		case isa.ClassStore:
+			c.sqCount--
+		}
+		c.trace(u, "squash")
+		replays = append(replays, resetForReplay(u))
+	}
+	c.count = keep
+
+	// Front-end queue and the fetch pending slot are younger still.
+	for i := range c.fetchQ {
+		replays = append(replays, resetForReplay(&c.fetchQ[i]))
+	}
+	c.fetchQ = c.fetchQ[:0]
+	if c.pendingValid {
+		replays = append(replays, resetForReplay(&c.pending))
+		c.pendingValid = false
+	}
+
+	// Anything already awaiting replay is younger than everything
+	// squashed now (it was fetched after); keep program order.
+	c.replayQ = append(replays, c.replayQ...)
+
+	// Rebuild the RAT from the surviving window.
+	for r := range c.rat {
+		c.rat[r] = ratEntry{}
+	}
+	for i := 0; i < c.count; i++ {
+		u := &c.window[(c.head+i)&mask]
+		if u.Dst.Valid() && u.allocBank >= 0 {
+			c.rat[u.Dst] = ratEntry{seq: u.Seq, has: true, bank: uint8(u.allocBank)}
+		}
+	}
+
+	// Fetch restarts after the squash penalty; any branch block was
+	// on a squashed (younger) branch.
+	c.fetchBlocked = false
+	if restartFetch > c.fetchStallUntil {
+		c.fetchStallUntil = restartFetch
+	}
+}

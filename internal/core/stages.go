@@ -1,0 +1,645 @@
+package core
+
+import (
+	"eole/internal/isa"
+)
+
+// ---------------------------------------------------------------- fetch
+
+// firstFetchPredict runs the branch and value predictors for a µ-op
+// the first time it is fetched. Replayed µ-ops skip this (each dynamic
+// µ-op trains each predictor exactly once).
+func (c *Core) firstFetchPredict(u *uop) {
+	if u.IsBranch() {
+		var target uint64
+		if u.Taken {
+			target = u.NextPC
+		}
+		r := c.bp.OnBranch(u.Op.Class(), u.PC, target, u.PC+4, u.Taken)
+		u.brMispred = r.Mispredicted
+		u.brVHC = r.VeryHighConf
+		if c.vp != nil {
+			// VTAGE consumes the global branch direction history.
+			taken := u.Taken
+			if !u.Op.Class().IsCondBranch() {
+				taken = true
+			}
+			c.vp.PushBranch(taken)
+		}
+		return
+	}
+	if c.vp != nil && u.VPEligible() {
+		p := c.vp.Lookup(u.PC)
+		u.predUsed = p.Use
+		u.predValue = p.Value
+		// A used prediction is architecturally correct only if the
+		// value matches and, for flag-writing µ-ops, the flags derived
+		// from the predicted value match the true flags (§4.2).
+		u.predCorrect = p.Value == u.Value &&
+			(!u.Op.WritesFlags() || isa.FlagsMatch(p.Value, u.Flags))
+		c.vp.Train(u.PC, p, u.Value)
+	}
+}
+
+// nextUop pulls the next µ-op to fetch: replays first, then the trace.
+func (c *Core) nextUop(u *uop) bool {
+	if len(c.replayQ) > 0 {
+		*u = c.replayQ[0]
+		c.replayQ = c.replayQ[1:]
+		c.stats.Replayed++
+		return true
+	}
+	var m uop
+	if !c.src.Next(&m.MicroOp) {
+		return false
+	}
+	*u = m
+	c.firstFetchPredict(u)
+	return true
+}
+
+// branchResolved reports whether the mispredicted branch blocking
+// fetch has resolved.
+func (c *Core) branchResolved(seq uint64) bool {
+	if c.count == 0 || seq < c.headSeq {
+		return true // committed (covers LE/VT-resolved branches)
+	}
+	if !c.inWindow(seq) {
+		return false // still in the front end
+	}
+	u := c.at(seq)
+	switch u.Op.Class() {
+	case isa.ClassJump, isa.ClassCall:
+		// Direct unconditional targets resolve right after rename.
+		return u.renamed && u.renameCycle < c.now
+	default:
+		if u.lateBranch {
+			return false // resolves at commit
+		}
+		return u.issued && u.readyCycle <= c.now
+	}
+}
+
+// fetch brings up to FetchWidth µ-ops into the front-end queue. It
+// returns false only when the trace is exhausted and nothing is left
+// to replay.
+func (c *Core) fetch() bool {
+	if c.fetchBlocked {
+		if !c.branchResolved(c.fetchBlockedBy) {
+			return true
+		}
+		c.fetchBlocked = false
+		if c.now+1 > c.fetchStallUntil {
+			c.fetchStallUntil = c.now + 1 // redirect bubble
+		}
+	}
+	if c.now < c.fetchStallUntil {
+		return true
+	}
+
+	taken := 0
+	fetched := 0
+	firstPC := uint64(0)
+	for fetched < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueueSize {
+		var u uop
+		if c.pendingValid {
+			u = c.pending
+			c.pendingValid = false
+		} else if !c.nextUop(&u) {
+			return fetched > 0 || len(c.fetchQ) > 0 || c.count > 0
+		}
+		if u.IsBranch() && u.Taken {
+			if taken >= c.cfg.MaxTakenPerFetch {
+				c.pending = u
+				c.pendingValid = true
+				break
+			}
+			taken++
+		}
+		u.fetched = true
+		u.fetchCycle = c.now
+		u.availCycle = never
+		u.readyCycle = never
+		if fetched == 0 {
+			firstPC = u.PC
+		}
+		c.fetchQ = append(c.fetchQ, u)
+		c.trace(&u, "fetch")
+		c.stats.Fetched++
+		fetched++
+		if u.brMispred {
+			c.fetchBlocked = true
+			c.fetchBlockedBy = u.Seq
+			break
+		}
+	}
+	if fetched > 0 {
+		// Instruction cache: a miss on the fetch line stalls the front
+		// end until the fill returns.
+		if done := c.mem.Fetch(firstPC, c.now); done > c.now+1 {
+			c.fetchStallUntil = done
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- rename
+
+// eeStageFor returns the EE ALU stage (1-based) at which the µ-op's
+// operands are all available, or 0 if it cannot be early-executed.
+// Operand sources, per §3.2: immediates from Decode, predictions of
+// same-group producers (held in the EE block), and the local bypass of
+// results early-executed in the previous cycle. Values residing in the
+// PRF are never read by the EE block.
+func (c *Core) eeStageFor(u *uop) int {
+	if !c.cfg.EarlyExecution || !u.Op.Class().SingleCycleALU() {
+		return 0
+	}
+	stage := 1
+	for _, src := range [2]isa.Reg{u.Src1, u.Src2} {
+		if !src.Valid() {
+			continue
+		}
+		r := c.rat[src]
+		if !r.has {
+			return 0 // architectural value lives in the PRF only
+		}
+		if !c.inWindow(r.seq) {
+			return 0
+		}
+		p := c.at(r.seq)
+		switch {
+		case p.renameCycle == c.now && p.predUsed:
+			// Same rename group, predicted: prediction is in the EE
+			// block (stage 1).
+		case p.renameCycle == c.now && p.earlyDone:
+			// Same group, early-executed at stage s: needs stage s+1.
+			if int(p.eeStage)+1 > stage {
+				stage = int(p.eeStage) + 1
+			}
+		case p.renameCycle+1 == c.now && (p.earlyDone || p.predUsed):
+			// Previous cycle's group: the local bypass network carries
+			// its EE results, and its predictions are being written to
+			// the PRF at dispatch this very cycle (write-port data is
+			// bypassable). Stage 1 either way.
+		default:
+			return 0
+		}
+	}
+	if stage > c.cfg.EEDepth {
+		return 0
+	}
+	return stage
+}
+
+// rename renames, early-executes and dispatches up to RenameWidth
+// µ-ops from the front-end queue into the window.
+func (c *Core) rename() {
+	slot := 0
+	for slot < c.cfg.RenameWidth && len(c.fetchQ) > 0 {
+		u := &c.fetchQ[0]
+		if u.fetchCycle+uint64(c.cfg.FetchToRenameLag) > c.now {
+			break
+		}
+		if c.count >= c.cfg.ROBSize {
+			c.stats.ROBFullStalls++
+			break
+		}
+		cls := u.Op.Class()
+		if cls == isa.ClassLoad && c.lqCount >= c.cfg.LQSize {
+			break
+		}
+		if cls == isa.ClassStore && c.sqCount >= c.cfg.SQSize {
+			break
+		}
+
+		// Tentative EOLE classification (decides IQ need).
+		eeStage := c.eeStageFor(u)
+		early := eeStage > 0
+		late := !early && c.cfg.LateExecution && u.predUsed && cls.SingleCycleALU()
+		lateBr := c.cfg.LEBranches && cls.IsCondBranch() && u.brVHC
+		if c.cfg.LEReturns && u.brVHC && (cls == isa.ClassReturn || cls == isa.ClassJumpReg) {
+			lateBr = true
+		}
+		needsIQ := !early && !late && !lateBr
+		if needsIQ && c.iqCount >= c.cfg.IQSize {
+			c.stats.IQFullStalls++
+			break
+		}
+
+		// Physical register allocation, round-robin across banks.
+		bank := -1
+		if u.Dst.Valid() {
+			bank = c.prf.BankFor(slot)
+			if !c.prf.TryAlloc(u.Dst.IsFP(), bank) {
+				c.stats.RenameBankStalls++
+				break
+			}
+		}
+
+		// Commit to renaming this µ-op.
+		v := *u
+		c.fetchQ = c.fetchQ[1:]
+		v.renamed = true
+		v.renameCycle = c.now
+		v.eeStage = uint8(eeStage)
+		v.earlyDone = early
+		v.late = late
+		v.lateBranch = lateBr
+		v.allocBank = int8(bank)
+		v.allocFP = u.Dst.Valid() && u.Dst.IsFP()
+
+		// Source dependences from the RAT.
+		for k, src := range [2]isa.Reg{v.Src1, v.Src2} {
+			if !src.Valid() {
+				continue
+			}
+			if r := c.rat[src]; r.has {
+				v.srcSeq[k] = r.seq
+				v.srcHas[k] = true
+				v.srcBank[k] = r.bank
+			} else {
+				v.srcBank[k] = c.commitB[src].bank
+			}
+		}
+
+		// Previous mapping of the destination (freed when v commits).
+		if v.Dst.Valid() {
+			if r := c.rat[v.Dst]; r.has && c.inWindow(r.seq) {
+				p := c.at(r.seq)
+				v.prevBank = p.allocBank
+				v.prevHas = p.allocBank >= 0
+				v.prevFP = p.allocFP
+			} else if cb := c.commitB[v.Dst]; cb.has {
+				v.prevBank = int8(cb.bank)
+				v.prevHas = true
+				v.prevFP = v.Dst.IsFP()
+			} else {
+				v.prevBank = -1
+			}
+			c.rat[v.Dst] = ratEntry{seq: v.Seq, has: true, bank: uint8(bank)}
+		} else {
+			v.prevBank = -1
+		}
+
+		// Value availability for consumers.
+		v.availCycle = never
+		v.readyCycle = never
+		if v.predUsed {
+			v.availCycle = c.now + 1 // written to the PRF at dispatch
+		}
+		if early {
+			v.availCycle = c.now
+			v.readyCycle = c.now
+		}
+
+		// Queue occupancy and memory dependence prediction.
+		switch cls {
+		case isa.ClassLoad:
+			c.lqCount++
+			if seq, dep := c.ss.OnLoadDispatch(v.PC); dep {
+				v.waitSeq, v.waitHas = seq, true
+			}
+		case isa.ClassStore:
+			c.sqCount++
+			c.ss.OnStoreDispatch(v.PC, v.Seq)
+		}
+		if needsIQ {
+			v.inIQ = true
+			c.iqCount++
+		}
+
+		// Insert into the window ring.
+		if c.count == 0 {
+			c.headSeq = v.Seq
+		}
+		idx := (c.head + c.count) & (len(c.window) - 1)
+		c.window[idx] = v
+		c.count++
+		slot++
+		c.trace(&v, "rename")
+		if v.earlyDone {
+			c.trace(&v, "early")
+		}
+	}
+	if slot == c.cfg.RenameWidth {
+		c.stats.RenameSaturated++
+	}
+}
+
+// ---------------------------------------------------------------- issue
+
+// srcsReady reports whether all register operands of u can be sourced
+// this cycle (bypass-inclusive).
+func (c *Core) srcsReady(u *uop) bool {
+	for k := 0; k < 2; k++ {
+		if !u.srcHas[k] {
+			continue
+		}
+		seq := u.srcSeq[k]
+		if seq < c.headSeq {
+			continue // producer committed
+		}
+		if c.at(seq).availCycle > c.now {
+			return false
+		}
+	}
+	return true
+}
+
+// issue performs OoO Select & Wakeup: oldest-first selection of up to
+// IssueWidth ready µ-ops, subject to functional unit and memory port
+// availability.
+func (c *Core) issue() {
+	issued := 0
+	aluUsed, mulUsed, fpUsed, fpmUsed, memUsed := 0, 0, 0, 0, 0
+	mask := len(c.window) - 1
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+		u := &c.window[(c.head+i)&mask]
+		if !u.inIQ || u.issued {
+			continue
+		}
+		if u.renameCycle+2 > c.now {
+			continue // dispatch latency
+		}
+		if !c.srcsReady(u) {
+			continue
+		}
+
+		cls := u.Op.Class()
+		var lat uint64
+		switch cls {
+		case isa.ClassALU, isa.ClassBranch, isa.ClassJump, isa.ClassCall,
+			isa.ClassReturn, isa.ClassJumpReg:
+			if aluUsed >= c.cfg.NumALU {
+				continue
+			}
+		case isa.ClassMul:
+			if mulUsed >= c.cfg.NumMulDiv {
+				continue
+			}
+		case isa.ClassDiv:
+			if !reserveUnpipelined(c.divBusyUntil, c.now, uint64(cls.Latency())) {
+				continue
+			}
+		case isa.ClassFP:
+			if fpUsed >= c.cfg.NumFP {
+				continue
+			}
+		case isa.ClassFPMul:
+			if fpmUsed >= c.cfg.NumFPMulDiv {
+				continue
+			}
+		case isa.ClassFPDiv:
+			if !reserveUnpipelined(c.fpDivBusyUntil, c.now, uint64(cls.Latency())) {
+				continue
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			if memUsed >= c.cfg.NumMemPorts {
+				continue
+			}
+		}
+
+		switch cls {
+		case isa.ClassLoad:
+			// Predicted memory dependence: wait for the store.
+			if u.waitHas && c.inWindow(u.waitSeq) {
+				w := c.at(u.waitSeq)
+				if w.Op.Class() == isa.ClassStore && !w.storeExecuted && w.Seq < u.Seq {
+					continue
+				}
+			}
+			ready, ok := c.issueLoad(u, i)
+			if !ok {
+				continue
+			}
+			lat = ready - c.now
+			memUsed++
+		case isa.ClassStore:
+			u.storeExecuted = true
+			lat = 1
+			memUsed++
+			c.ss.OnStoreComplete(u.PC, u.Seq)
+		default:
+			lat = uint64(cls.Latency())
+			switch cls {
+			case isa.ClassMul:
+				mulUsed++
+			case isa.ClassFP:
+				fpUsed++
+			case isa.ClassFPMul:
+				fpmUsed++
+			case isa.ClassDiv, isa.ClassFPDiv:
+				// busy time already reserved
+			default:
+				aluUsed++
+			}
+		}
+
+		u.issued = true
+		u.inIQ = false
+		c.iqCount--
+		u.readyCycle = c.now + lat
+		if c.tracer != nil {
+			c.trace(u, "issue")
+			c.tracer.Event(u.Seq, u.PC, u.Op.String(), "ready", u.readyCycle)
+		}
+		if u.readyCycle < u.availCycle {
+			u.availCycle = u.readyCycle
+		}
+		issued++
+	}
+	if issued == c.cfg.IssueWidth {
+		c.stats.IssueSaturated++
+	}
+}
+
+// issueLoad resolves memory ordering for a load at window position i
+// and returns its data-ready cycle. ok=false means the load cannot
+// issue this cycle.
+func (c *Core) issueLoad(u *uop, i int) (ready uint64, ok bool) {
+	mask := len(c.window) - 1
+	// Scan older stores, youngest first.
+	for j := i - 1; j >= 0; j-- {
+		s := &c.window[(c.head+j)&mask]
+		if s.Op.Class() != isa.ClassStore || s.Addr>>3 != u.Addr>>3 {
+			continue
+		}
+		if s.storeExecuted {
+			// Store-to-load forwarding from the SQ.
+			return c.now + 2, true
+		}
+		// The store's address is unknown in hardware and Store Sets
+		// did not predict the dependence: the load issues and reads
+		// stale data — a memory-order violation detected at commit.
+		u.violation = true
+		c.ss.OnViolation(u.PC, s.PC)
+		return c.now + 2, true
+	}
+	return c.mem.Load(u.PC, u.Addr, c.now+1), true
+}
+
+// reserveUnpipelined claims one of the unpipelined units if any is
+// free at cycle now.
+func reserveUnpipelined(busyUntil []uint64, now, lat uint64) bool {
+	for i := range busyUntil {
+		if busyUntil[i] <= now {
+			busyUntil[i] = now + lat
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- commit
+
+// commit retires up to CommitWidth µ-ops in order through the LE/VT
+// stage: late execution of deferred ALU µ-ops and VHC branches,
+// prediction validation and predictor-training port accounting, and
+// squash on value mispredictions or memory-order violations.
+func (c *Core) commit() {
+	c.levt.Reset()
+	leSlots := 0
+	mask := len(c.window) - 1
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		u := &c.window[c.head&mask]
+
+		// Completion condition.
+		switch {
+		case u.earlyDone:
+			// done at rename
+		case u.late || u.lateBranch:
+			if c.cfg.LEWidth > 0 && leSlots >= c.cfg.LEWidth {
+				return
+			}
+		case u.issued && u.readyCycle <= c.now:
+			// OoO execution finished
+		default:
+			c.stats.CommitStopHead++
+			return
+		}
+
+		// LE/VT read-port accounting: late-executed µ-ops (ALU and
+		// branches) read their operands; every VP-eligible µ-op reads
+		// its result for validation (predicted only) and training
+		// (all).
+		var banks [3]int
+		nb := 0
+		if u.late || u.lateBranch {
+			for k := 0; k < 2; k++ {
+				if srcValid(u, k) {
+					banks[nb] = int(u.srcBank[k])
+					nb++
+				}
+			}
+		}
+		if c.cfg.ValuePrediction && u.VPEligible() && u.allocBank >= 0 {
+			banks[nb] = int(u.allocBank)
+			nb++
+		}
+		if nb > 0 && !c.levt.TryReserve(banks[:nb]...) {
+			c.stats.LEVTPortStalls++
+			// A head-of-ROB µ-op whose reads exceed even a whole
+			// cycle's bank budget performs them over several cycles:
+			// after stalling one cycle per extra read it commits.
+			if n == 0 {
+				c.headPortWait++
+				if c.headPortWait >= nb {
+					c.headPortWait = 0
+					goto portsGranted
+				}
+			}
+			return
+		}
+	portsGranted:
+		if u.late || u.lateBranch {
+			leSlots++
+			c.trace(u, "late")
+		}
+		c.headPortWait = 0
+		c.trace(u, "commit")
+
+		// Retirement actions.
+		if u.Op.Class() == isa.ClassStore {
+			c.mem.Store(u.PC, u.Addr, c.now)
+			c.sqCount--
+		}
+		if u.Op.Class() == isa.ClassLoad {
+			c.lqCount--
+		}
+		if u.prevHas {
+			c.prf.Free(u.prevFP, int(u.prevBank))
+		}
+		if u.Dst.Valid() && u.allocBank >= 0 {
+			c.commitB[u.Dst].bank = uint8(u.allocBank)
+			c.commitB[u.Dst].has = true
+			if r := c.rat[u.Dst]; r.has && r.seq == u.Seq {
+				c.rat[u.Dst] = ratEntry{}
+			}
+		}
+		c.accountCommit(u)
+
+		seq := u.Seq
+		predSquash := u.predUsed && !u.predCorrect
+		violSquash := u.violation
+		// Advance past u.
+		c.head = (c.head + 1) & mask
+		c.count--
+		c.headSeq = seq + 1
+
+		if predSquash || violSquash {
+			if predSquash {
+				c.stats.VPSquashes++
+			} else {
+				c.stats.MemViolations++
+			}
+			c.squashYounger(seq, c.now+2)
+			return
+		}
+	}
+}
+
+func srcValid(u *uop, k int) bool {
+	if k == 0 {
+		return u.Src1.Valid()
+	}
+	return u.Src2.Valid()
+}
+
+// accountCommit updates per-class and EOLE statistics.
+func (c *Core) accountCommit(u *uop) {
+	c.stats.Committed++
+	switch u.Op.Class() {
+	case isa.ClassALU:
+		c.stats.CommittedALU++
+	case isa.ClassLoad, isa.ClassStore:
+		c.stats.CommittedMem++
+	case isa.ClassFP, isa.ClassFPMul, isa.ClassFPDiv:
+		c.stats.CommittedFP++
+	case isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassReturn, isa.ClassJumpReg:
+		c.stats.CommittedBranch++
+	default:
+		c.stats.CommittedOther++
+	}
+	if u.earlyDone {
+		c.stats.EarlyExecuted++
+		if u.eeStage == 2 {
+			c.stats.EEStage2++
+		}
+	}
+	if u.late {
+		c.stats.LateALU++
+	}
+	if u.lateBranch {
+		c.stats.LateBranches++
+	}
+	if u.VPEligible() {
+		c.stats.VPEligible++
+		if u.predUsed {
+			c.stats.VPUsed++
+		}
+	}
+	if u.brMispred {
+		c.stats.BranchMispredicts++
+	}
+}

@@ -1,0 +1,143 @@
+// Package dram models the main memory of Table 1: single-channel
+// DDR3-1600 (11-11-11), 2 ranks of 8 banks, 8KB row buffers, with
+// open-page policy. Latencies are expressed in 4GHz CPU cycles; the
+// resulting read latency spans the paper's "Min. Read Lat.: 75 cycles,
+// Max. 185 cycles".
+package dram
+
+// Config captures the timing and geometry of the DDR3 channel.
+type Config struct {
+	Ranks        int
+	BanksPerRank int
+	RowBytes     int // row-buffer size (8KB)
+	// Timing in CPU cycles (DDR3-1600 at 4GHz: 1 DRAM cycle = 5 CPU
+	// cycles; CL=tRCD=tRP=11 DRAM cycles = 55 CPU cycles each).
+	TCAS     uint64 // column access (row hit)
+	TRCD     uint64 // row activate
+	TRP      uint64 // precharge (row conflict)
+	TBurst   uint64 // data burst occupancy of the bank
+	Overhead uint64 // controller + interconnect constant
+	WriteLat uint64 // posted-write acknowledge latency
+}
+
+// DefaultConfig returns the Table 1 DDR3-1600 channel.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:        2,
+		BanksPerRank: 8,
+		RowBytes:     8 << 10,
+		TCAS:         55,
+		TRCD:         55,
+		TRP:          55,
+		TBurst:       20,
+		Overhead:     20,
+		WriteLat:     20,
+	}
+}
+
+type bank struct {
+	open    bool
+	openRow uint64
+	ready   uint64 // cycle at which the bank can accept a new command
+}
+
+// DDR3 is the memory controller + channel model.
+type DDR3 struct {
+	cfg   Config
+	banks []bank
+
+	// Stats.
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	RowConfl  uint64
+	TotalLat  uint64
+}
+
+// New builds a DDR3 channel.
+func New(cfg Config) *DDR3 {
+	return &DDR3{cfg: cfg, banks: make([]bank, cfg.Ranks*cfg.BanksPerRank)}
+}
+
+// Decode maps a physical address to (bank, row). Banks interleave at
+// row-buffer granularity, and higher address bits are XOR-folded into
+// the bank index (standard controller bank hashing) so that multiple
+// power-of-two-spaced streams spread across banks instead of
+// serializing on one.
+func (d *DDR3) Decode(addr uint64) (bankIdx int, row uint64) {
+	rowShift := uint(0)
+	for 1<<rowShift < d.cfg.RowBytes {
+		rowShift++
+	}
+	n := uint64(len(d.banks))
+	x := addr >> rowShift
+	row = x / n
+	// Fold several address strata into the bank bits so that streams
+	// based at power-of-two offsets (heap arenas) land on different
+	// banks even at equal stream positions.
+	h := x ^ x>>7 ^ x>>13 ^ x>>19
+	bankIdx = int(h % n)
+	return bankIdx, row
+}
+
+// Access performs one memory transaction at CPU cycle `now` and
+// returns the cycle at which data is available (reads) or the write is
+// accepted (writes).
+func (d *DDR3) Access(addr uint64, write bool, _ uint64, now uint64) uint64 {
+	bi, row := d.Decode(addr)
+	b := &d.banks[bi]
+
+	start := now
+	if b.ready > start {
+		start = b.ready
+	}
+
+	// Activation cost depends on the row-buffer state; the column
+	// access (CAS) latency pipelines with later commands, so the bank
+	// is only occupied for activation + data burst.
+	var act uint64
+	switch {
+	case b.open && b.openRow == row:
+		d.RowHits++
+	case !b.open:
+		d.RowMisses++
+		act = d.cfg.TRCD
+	default:
+		d.RowConfl++
+		act = d.cfg.TRP + d.cfg.TRCD
+	}
+	b.open = true
+	b.openRow = row
+
+	done := start + act + d.cfg.TCAS + d.cfg.Overhead
+	b.ready = start + act + d.cfg.TBurst
+
+	if write {
+		d.Writes++
+		// Posted writes: the requester is released quickly, the bank
+		// stays busy.
+		ack := now + d.cfg.WriteLat
+		return ack
+	}
+	d.Reads++
+	d.TotalLat += done - now
+	return done
+}
+
+// AvgReadLatency reports the mean read latency in CPU cycles.
+func (d *DDR3) AvgReadLatency() float64 {
+	if d.Reads == 0 {
+		return 0
+	}
+	return float64(d.TotalLat) / float64(d.Reads)
+}
+
+// RowHitRate reports row-buffer hits per access.
+func (d *DDR3) RowHitRate() float64 {
+	total := d.RowHits + d.RowMisses + d.RowConfl
+	if total == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(total)
+}

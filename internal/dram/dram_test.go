@@ -1,0 +1,138 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyBandsMatchTable1(t *testing.T) {
+	// Table 1: min read 75 cycles, max 185 (unloaded).
+	d := New(DefaultConfig())
+	// Closed bank first access.
+	lat := d.Access(0x1000, false, 0, 0)
+	if lat < 75 || lat > 185 {
+		t.Fatalf("first access latency %d outside [75,185]", lat)
+	}
+	// Row hit after the bank is idle: the minimum latency.
+	now := lat + 1000
+	done := d.Access(0x1008, false, 0, now)
+	if hit := done - now; hit != DefaultConfig().TCAS+DefaultConfig().Overhead {
+		t.Fatalf("row-hit latency %d, want TCAS+overhead", hit)
+	}
+}
+
+func TestRowConflictCostsPrecharge(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	b0, _ := d.Decode(0x0)
+	// Find another address in the same bank, different row.
+	var confl uint64
+	for i := 1; ; i++ {
+		addr := uint64(i * cfg.RowBytes)
+		if b, r := d.Decode(addr); b == b0 && r != 0 {
+			confl = addr
+			break
+		}
+	}
+	now := uint64(10_000)
+	d.Access(0x0, false, 0, now)
+	now += 10_000
+	done := d.Access(confl, false, 0, now)
+	want := cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.Overhead
+	if got := done - now; got != want {
+		t.Fatalf("row-conflict latency %d, want %d", got, want)
+	}
+	if d.RowConfl != 1 {
+		t.Fatalf("RowConfl = %d, want 1", d.RowConfl)
+	}
+}
+
+func TestBankOccupancyBoundsBandwidth(t *testing.T) {
+	// Back-to-back same-row reads are spaced by TBurst, not by the
+	// full access latency (DDR3 pipelines column accesses).
+	cfg := DefaultConfig()
+	d := New(cfg)
+	a := d.Access(0x0, false, 0, 0)
+	b := d.Access(0x40, false, 0, 0)
+	if b-a != cfg.TBurst {
+		t.Fatalf("same-row spacing %d, want TBurst %d", b-a, cfg.TBurst)
+	}
+}
+
+func TestDecodeCoversAllBanks(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := DefaultConfig()
+	seen := map[int]bool{}
+	for i := 0; i < 1024; i++ {
+		b, _ := d.Decode(uint64(i * cfg.RowBytes))
+		seen[b] = true
+	}
+	if len(seen) != cfg.Ranks*cfg.BanksPerRank {
+		t.Fatalf("rows map to %d banks, want %d", len(seen), cfg.Ranks*cfg.BanksPerRank)
+	}
+}
+
+func TestDecodeStableWithinRow(t *testing.T) {
+	// All addresses within one row-buffer-worth of one bank must
+	// decode identically (otherwise streaming would never row-hit).
+	d := New(DefaultConfig())
+	f := func(baseRow uint16, off uint16) bool {
+		base := uint64(baseRow) * uint64(DefaultConfig().RowBytes) * 16
+		b1, r1 := d.Decode(base)
+		b2, r2 := d.Decode(base + uint64(off)%uint64(DefaultConfig().RowBytes))
+		return b1 == b2 && r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOfTwoStreamsSpread(t *testing.T) {
+	// Regression for the h264ref pathology: streams based at
+	// 0x1000_0000 and 0x2000_0000 must not serialize on one bank.
+	d := New(DefaultConfig())
+	same := 0
+	for i := 0; i < 64; i++ {
+		off := uint64(i * DefaultConfig().RowBytes)
+		b1, _ := d.Decode(0x1000_0000 + off)
+		b2, _ := d.Decode(0x2000_0000 + off)
+		if b1 == b2 {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Fatalf("streams collide on the same bank %d/64 times", same)
+	}
+}
+
+func TestWritesArePostedAndOccupyBank(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	ack := d.Access(0x100, true, 0, 0)
+	if ack != cfg.WriteLat {
+		t.Fatalf("write ack %d, want %d", ack, cfg.WriteLat)
+	}
+	// A read right behind the write must see the busy bank.
+	done := d.Access(0x108, false, 0, 1)
+	if done-1 <= cfg.TCAS+cfg.Overhead {
+		t.Fatal("read behind write ignored bank occupancy")
+	}
+	if d.Writes != 1 || d.Reads != 1 {
+		t.Fatalf("counters: %d writes / %d reads", d.Writes, d.Reads)
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	d := New(DefaultConfig())
+	if d.RowHitRate() != 0 || d.AvgReadLatency() != 0 {
+		t.Fatal("fresh controller must report zero rates")
+	}
+	d.Access(0x0, false, 0, 0)
+	d.Access(0x8, false, 0, 1_000)
+	if d.RowHitRate() <= 0 || d.RowHitRate() > 1 {
+		t.Fatalf("row hit rate %v", d.RowHitRate())
+	}
+	if d.AvgReadLatency() < 75 {
+		t.Fatalf("avg read latency %v below minimum", d.AvgReadLatency())
+	}
+}

@@ -1,0 +1,408 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §6 for the experiment index). Each
+// FigureN/TableN function runs the required machine configurations
+// over the benchmark suite and returns a stats.Table shaped like the
+// paper's artefact: one row per benchmark, one column per series,
+// normalized exactly as the paper normalizes.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"eole"
+	"eole/internal/complexity"
+	"eole/internal/config"
+	"eole/internal/stats"
+	"eole/internal/vpred"
+)
+
+// Opts controls run length and benchmark selection.
+type Opts struct {
+	// Warmup µ-ops committed before measurement (predictor/cache
+	// training; the paper uses 50M on 100M-instruction slices).
+	Warmup uint64
+	// Measure µ-ops committed in the measured region.
+	Measure uint64
+	// Workloads restricts the suite (nil = all 19).
+	Workloads []string
+	// Parallelism caps concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOpts returns run lengths that finish the full suite in
+// seconds while staying past the predictors' training horizon.
+func DefaultOpts() Opts {
+	return Opts{Warmup: 30_000, Measure: 100_000}
+}
+
+func (o Opts) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return eole.WorkloadNames()
+}
+
+// runKey identifies one simulation.
+type runKey struct {
+	cfg string
+	wl  string
+}
+
+// runSet executes every (config, workload) pair concurrently and
+// returns the reports. Configurations are resolved through resolve,
+// which lets figures use ad-hoc variants alongside named ones.
+func runSet(o Opts, cfgs []eole.Config) map[runKey]*eole.Report {
+	type job struct {
+		cfg eole.Config
+		wl  string
+	}
+	var jobs []job
+	for _, c := range cfgs {
+		for _, w := range o.workloads() {
+			jobs = append(jobs, job{c, w})
+		}
+	}
+	out := make(map[runKey]*eole.Report, len(jobs))
+	var mu sync.Mutex
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w, err := eole.WorkloadByName(j.wl)
+			if err != nil {
+				panic(err)
+			}
+			r, err := eole.Simulate(j.cfg, w, o.Warmup, o.Measure)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s on %s: %v", j.cfg.Name, j.wl, err))
+			}
+			mu.Lock()
+			out[runKey{j.cfg.Name, j.wl}] = r
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return out
+}
+
+func named(name string) eole.Config {
+	c, err := eole.NamedConfig(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// speedupTable builds a per-benchmark speedup table of the given
+// configurations normalized to baseline.
+func speedupTable(o Opts, title, baseline string, series []eole.Config) *stats.Table {
+	cfgs := append([]eole.Config{named(baseline)}, series...)
+	reports := runSet(o, cfgs)
+	cols := make([]string, len(series))
+	for i, c := range series {
+		cols[i] = c.Name
+	}
+	t := stats.NewTable(title, "benchmark", cols...)
+	t.Note = fmt.Sprintf("speedup over %s (IPC ratio); geomean over %d benchmarks",
+		baseline, len(o.workloads()))
+	t.WithGeomean = true
+	for _, wl := range o.workloads() {
+		base := reports[runKey{baseline, wl}]
+		vals := make([]float64, len(series))
+		for i, c := range series {
+			vals[i] = reports[runKey{c.Name, wl}].IPC / base.IPC
+		}
+		t.AddRow(wl, vals...)
+	}
+	return t
+}
+
+// Table3 reproduces Table 3: per-benchmark IPC of Baseline_6_64, with
+// the paper's reported IPC alongside for comparison.
+func Table3(o Opts) *stats.Table {
+	reports := runSet(o, []eole.Config{named("Baseline_6_64")})
+	t := stats.NewTable("Table 3: baseline IPC per benchmark", "benchmark",
+		"IPC", "paper_IPC")
+	t.Note = "Baseline_6_64 (no value prediction); paper column is the authors' gem5/SPEC measurement"
+	for _, w := range eole.Workloads() {
+		keep := false
+		for _, name := range o.workloads() {
+			if name == w.Short {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		r := reports[runKey{"Baseline_6_64", w.Short}]
+		t.AddRow(w.Short, r.IPC, w.PaperIPC)
+	}
+	return t
+}
+
+// Figure2 reproduces Figure 2: the proportion of committed µ-ops that
+// can be early-executed with one or two ALU stages (VTAGE-2DStride
+// hybrid, 6-issue machine).
+func Figure2(o Opts) *stats.Table {
+	one := named("EOLE_6_64")
+	two := named("EOLE_6_64")
+	two.Name = "EOLE_6_64_EE2"
+	two.EEDepth = 2
+	reports := runSet(o, []eole.Config{one, two})
+	t := stats.NewTable("Figure 2: early-executable fraction of committed µ-ops",
+		"benchmark", "1_ALU_stage", "2_ALU_stages")
+	t.Note = "paper: 10%-40%, with the second stage adding little"
+	t.WithGeomean = false
+	for _, wl := range o.workloads() {
+		t.AddRow(wl,
+			reports[runKey{"EOLE_6_64", wl}].EEFraction,
+			reports[runKey{"EOLE_6_64_EE2", wl}].EEFraction)
+	}
+	return t
+}
+
+// Figure4 reproduces Figure 4: the proportion of committed µ-ops that
+// can be late-executed, split into very-high-confidence branches and
+// value-predicted single-cycle ALU µ-ops (disjoint from Figure 2's
+// early-executed set).
+func Figure4(o Opts) *stats.Table {
+	reports := runSet(o, []eole.Config{named("EOLE_6_64")})
+	t := stats.NewTable("Figure 4: late-executable fraction of committed µ-ops",
+		"benchmark", "HighConf_branches", "Value_predicted", "total")
+	t.Note = "LE-eligible µ-ops that were not early-executed"
+	for _, wl := range o.workloads() {
+		r := reports[runKey{"EOLE_6_64", wl}]
+		t.AddRow(wl, r.LEBranchFrac, r.LEFraction-r.LEBranchFrac, r.LEFraction)
+	}
+	return t
+}
+
+// Figure6 reproduces Figure 6: speedup of adding the VTAGE-2DStride
+// value predictor to the baseline (Baseline_VP_6_64 / Baseline_6_64).
+func Figure6(o Opts) *stats.Table {
+	return speedupTable(o, "Figure 6: speedup from value prediction",
+		"Baseline_6_64", []eole.Config{named("Baseline_VP_6_64")})
+}
+
+// Figure7 reproduces Figure 7: EOLE and the VP baseline across issue
+// widths, normalized to Baseline_VP_6_64.
+func Figure7(o Opts) *stats.Table {
+	return speedupTable(o, "Figure 7: issue-width impact on EOLE",
+		"Baseline_VP_6_64",
+		[]eole.Config{named("Baseline_VP_4_64"), named("EOLE_4_64"), named("EOLE_6_64")})
+}
+
+// Figure8 reproduces Figure 8: IQ-size impact, normalized to
+// Baseline_VP_6_64.
+func Figure8(o Opts) *stats.Table {
+	return speedupTable(o, "Figure 8: instruction-queue size impact on EOLE",
+		"Baseline_VP_6_64",
+		[]eole.Config{named("Baseline_VP_6_48"), named("EOLE_6_48"), named("EOLE_6_64")})
+}
+
+// Figure10 reproduces Figure 10: EOLE_4_64 with a banked PRF (2/4/8
+// banks), normalized to the single-bank EOLE_4_64.
+func Figure10(o Opts) *stats.Table {
+	var series []eole.Config
+	for _, banks := range []int{2, 4, 8} {
+		series = append(series, config.WithBanks(named("EOLE_4_64"), banks))
+	}
+	t := speedupTable(o, "Figure 10: PRF banking impact (EOLE_4_64)",
+		"EOLE_4_64", series)
+	t.Note = "speedup over single-bank EOLE_4_64; paper: losses within ~2%"
+	return t
+}
+
+// Figure11 reproduces Figure 11: EOLE_4_64 with a 4-bank PRF and
+// 2/3/4 read ports per bank for the LE/VT stage, normalized to
+// EOLE_4_64 with unconstrained ports.
+func Figure11(o Opts) *stats.Table {
+	var series []eole.Config
+	for _, ports := range []int{2, 3, 4} {
+		c := config.WithLEVTPorts(config.WithBanks(named("EOLE_4_64"), 4), ports)
+		series = append(series, c)
+	}
+	t := speedupTable(o, "Figure 11: LE/VT read-port limits (4-bank EOLE_4_64)",
+		"EOLE_4_64", series)
+	t.Note = "paper: 2 ports lose visibly, 4 ports ≈ unconstrained"
+	return t
+}
+
+// Figure12 reproduces Figure 12, the headline comparison: the no-VP
+// baseline, idealized EOLE_4_64 and the practical banked/port-limited
+// EOLE, all normalized to Baseline_VP_6_64.
+func Figure12(o Opts) *stats.Table {
+	return speedupTable(o, "Figure 12: headline EOLE comparison",
+		"Baseline_VP_6_64",
+		[]eole.Config{named("Baseline_6_64"), named("EOLE_4_64"),
+			named("EOLE_4_64_4ports_4banks")})
+}
+
+// Figure13 reproduces Figure 13: the modularity study — full EOLE,
+// Late-Execution-only (OLE) and Early-Execution-only (EOE), each with
+// the practical 4-bank/4-port PRF, normalized to Baseline_VP_6_64.
+func Figure13(o Opts) *stats.Table {
+	mk := func(name string) eole.Config {
+		c := named(name)
+		c.PRF.Banks = 4
+		c.PRF.LEVTReadPortsPerBank = 4
+		c.Name = name + "_4ports_4banks"
+		return c
+	}
+	return speedupTable(o, "Figure 13: EOLE modularity (OLE and EOE)",
+		"Baseline_VP_6_64",
+		[]eole.Config{mk("EOLE_4_64"), mk("OLE_4_64"), mk("EOE_4_64")})
+}
+
+// Table1 renders the simulated machine configuration (the analogue of
+// the paper's Table 1).
+func Table1() string {
+	c := named("Baseline_6_64")
+	return fmt.Sprintf(`== Table 1: simulated machine configuration ==
+Front end   %d-wide fetch (max %d taken branches/cycle), %d-wide rename,
+            %d-cycle fetch-to-rename pipe, %d-entry fetch queue,
+            TAGE 1+12 components + 2-way 4K BTB + 32-entry RAS
+Execution   %d-entry ROB, %d-entry unified IQ (released at issue),
+            %d/%d-entry LQ/SQ, %d-issue, %dxALU(1c) %dxMulDiv(3c/25c*)
+            %dxFP(3c) %dxFPMulDiv(5c/10c*) %dxLd/Str ports,
+            Store Sets 1K-SSID, 256/256 INT/FP physical registers
+Caches      L1I 32KB 4-way, L1D 32KB 4-way 2c (64 MSHRs),
+            unified L2 2MB 16-way 12c, stride prefetcher degree 8,
+            64B lines, LRU
+Memory      DDR3-1600 (11-11-11), 2 ranks x 8 banks, 8KB rows,
+            75-185 cycle read latency
+Retire      %d-wide commit; with VP: +1 LE/VT pre-commit stage,
+            value misprediction = squash (>= %d cycles)
+(*unpipelined)`,
+		c.FetchWidth, c.MaxTakenPerFetch, c.RenameWidth,
+		c.FetchToRenameLag, c.FetchQueueSize,
+		c.ROBSize, c.IQSize, c.LQSize, c.SQSize, c.IssueWidth,
+		c.NumALU, c.NumMulDiv, c.NumFP, c.NumFPMulDiv, c.NumMemPorts,
+		c.CommitWidth, c.ValueMispredictPenalty)
+}
+
+// Table2 reproduces Table 2: the layout and storage budget of the
+// value predictor components.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: value predictor layout", "predictor",
+		"entries", "KB")
+	s := vpred.NewTwoDeltaStride(13, vpred.DefaultFPCVector())
+	v := vpred.NewVTAGE(vpred.DefaultVTAGEConfig())
+	t.Note = "paper: 2D-Stride 8192 entries / 251.9KB; VTAGE 8192-entry base + 6x1024 tagged"
+	t.AddRow("2D-Stride", 8192, float64(s.StorageBits())/8192)
+	t.AddRow("VTAGE", 8192+6*1024, float64(v.StorageBits())/8192)
+	return t
+}
+
+// Section6 renders the paper's hardware-complexity analysis: PRF port
+// counts and Zyuban-Kogge area factors for the baseline, the naive VP
+// machine, idealized EOLE and the practical banked design.
+func Section6() string {
+	return complexity.Section6().Render() + "\n" + complexity.Summary()
+}
+
+// Artifact pairs an experiment id with its rendered output.
+type Artifact struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// All regenerates every artefact in DESIGN.md's experiment index.
+func All(o Opts) []Artifact {
+	return []Artifact{
+		{"table1", "machine configuration", Table1()},
+		{"table2", "predictor layout", Table2().Render()},
+		{"table3", "baseline IPC", Table3(o).Render()},
+		{"figure2", "early-executable fraction", Figure2(o).Render()},
+		{"figure4", "late-executable fraction", Figure4(o).Render()},
+		{"figure6", "value prediction speedup", Figure6(o).Render()},
+		{"figure7", "issue width", Figure7(o).Render()},
+		{"figure8", "IQ size", Figure8(o).Render()},
+		{"figure10", "PRF banking", Figure10(o).Render()},
+		{"figure11", "LE/VT ports", Figure11(o).Render()},
+		{"figure12", "headline", Figure12(o).Render()},
+		{"figure13", "OLE/EOE modularity", Figure13(o).Render()},
+		{"section6", "hardware complexity", Section6()},
+	}
+}
+
+// ByID regenerates a single artefact.
+func ByID(id string, o Opts) (Artifact, error) {
+	switch id {
+	case "table1":
+		return Artifact{id, "machine configuration", Table1()}, nil
+	case "table2":
+		return Artifact{id, "predictor layout", Table2().Render()}, nil
+	case "table3":
+		return Artifact{id, "baseline IPC", Table3(o).Render()}, nil
+	case "figure2":
+		return Artifact{id, "early-executable fraction", Figure2(o).Render()}, nil
+	case "figure4":
+		return Artifact{id, "late-executable fraction", Figure4(o).Render()}, nil
+	case "figure6":
+		return Artifact{id, "value prediction speedup", Figure6(o).Render()}, nil
+	case "figure7":
+		return Artifact{id, "issue width", Figure7(o).Render()}, nil
+	case "figure8":
+		return Artifact{id, "IQ size", Figure8(o).Render()}, nil
+	case "figure10":
+		return Artifact{id, "PRF banking", Figure10(o).Render()}, nil
+	case "figure11":
+		return Artifact{id, "LE/VT ports", Figure11(o).Render()}, nil
+	case "figure12":
+		return Artifact{id, "headline", Figure12(o).Render()}, nil
+	case "figure13":
+		return Artifact{id, "OLE/EOE modularity", Figure13(o).Render()}, nil
+	case "section6":
+		return Artifact{id, "hardware complexity", Section6()}, nil
+	}
+	return Artifact{}, fmt.Errorf("experiments: unknown artefact %q (try table1-3, figure2,4,6,7,8,10,11,12,13, section6)", id)
+}
+
+// TableByID returns the raw table behind a figure artefact (for chart
+// rendering); table1 and section6 are text-only and return an error.
+func TableByID(id string, o Opts) (*stats.Table, error) {
+	switch id {
+	case "table2":
+		return Table2(), nil
+	case "table3":
+		return Table3(o), nil
+	case "figure2":
+		return Figure2(o), nil
+	case "figure4":
+		return Figure4(o), nil
+	case "figure6":
+		return Figure6(o), nil
+	case "figure7":
+		return Figure7(o), nil
+	case "figure8":
+		return Figure8(o), nil
+	case "figure10":
+		return Figure10(o), nil
+	case "figure11":
+		return Figure11(o), nil
+	case "figure12":
+		return Figure12(o), nil
+	case "figure13":
+		return Figure13(o), nil
+	}
+	return nil, fmt.Errorf("experiments: no table form for %q", id)
+}
+
+// IDs lists the artefact identifiers in paper order.
+func IDs() []string {
+	return []string{"table1", "table2", "table3", "figure2", "figure4",
+		"figure6", "figure7", "figure8", "figure10", "figure11",
+		"figure12", "figure13", "section6"}
+}

@@ -1,0 +1,93 @@
+package isa
+
+import "math/bits"
+
+// Flags is the x86-style condition flag register, packed into one byte.
+// Only the bits the paper discusses are modelled.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagZF Flags = 1 << iota // zero
+	FlagSF                   // sign
+	FlagPF                   // parity of low byte
+	FlagCF                   // carry (operand-dependent)
+	FlagOF                   // overflow (operand-dependent)
+	FlagAF                   // adjust (ignored for validation, §4.2)
+)
+
+// resultFlags computes the flags that are a pure function of the
+// 64-bit result: ZF, SF and PF. These are the flags the paper says
+// "can easily be inferred from the predicted result".
+func resultFlags(v uint64) Flags {
+	var f Flags
+	if v == 0 {
+		f |= FlagZF
+	}
+	if int64(v) < 0 {
+		f |= FlagSF
+	}
+	if bits.OnesCount8(uint8(v))%2 == 0 {
+		f |= FlagPF
+	}
+	return f
+}
+
+// TrueFlags computes the architecturally correct flag register for an
+// integer ALU operation with the given operands and result. CF and OF
+// follow x86 add/sub semantics; logic ops clear both. AF follows
+// add/sub nibble carry.
+func TrueFlags(op Opcode, a, b, result uint64) Flags {
+	f := resultFlags(result)
+	switch op {
+	case OpAdd, OpAddi:
+		if result < a {
+			f |= FlagCF
+		}
+		// Signed overflow: operands same sign, result different sign.
+		if (a^b)&(1<<63) == 0 && (a^result)&(1<<63) != 0 {
+			f |= FlagOF
+		}
+		if (a&0xF)+(b&0xF) > 0xF {
+			f |= FlagAF
+		}
+	case OpSub:
+		if a < b {
+			f |= FlagCF
+		}
+		if (a^b)&(1<<63) != 0 && (a^result)&(1<<63) != 0 {
+			f |= FlagOF
+		}
+		if a&0xF < b&0xF {
+			f |= FlagAF
+		}
+	}
+	return f
+}
+
+// ApproxFlags computes the flag register a value predictor can derive
+// from a predicted result alone, using the paper's approximation
+// (§4.2 "x86 Flags"): ZF/SF/PF from the value, OF := 0, and CF set iff
+// SF is set. AF is left clear.
+func ApproxFlags(predicted uint64) Flags {
+	f := resultFlags(predicted)
+	if f&FlagSF != 0 {
+		f |= FlagCF
+	}
+	return f
+}
+
+// ValidationMask is the set of flag bits compared when validating a
+// value prediction of a flag-writing µ-op. AF is excluded because
+// x86_64 forbids decimal arithmetic, so AF is never consumed (§4.2).
+const ValidationMask = FlagZF | FlagSF | FlagPF | FlagCF | FlagOF
+
+// FlagsMatch reports whether a predicted value's derivable flags agree
+// with the architectural flags under the validation mask. A value
+// prediction of a flag-writing µ-op is treated as incorrect when this
+// returns false even if the 64-bit value matches, mirroring the paper's
+// "we consider a prediction as incorrect if ... the flag register is
+// wrong".
+func FlagsMatch(predicted uint64, actual Flags) bool {
+	return ApproxFlags(predicted)&ValidationMask == actual&ValidationMask
+}

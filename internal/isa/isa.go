@@ -1,0 +1,349 @@
+// Package isa defines the micro-operation instruction set used by the
+// EOLE reproduction.
+//
+// The paper (Perais & Seznec, ISCA 2014) evaluates on x86_64 µ-ops as
+// produced by gem5. We instead define a RISC-like 64-bit µ-op IR that
+// preserves every property the evaluation depends on:
+//
+//   - instruction classes with the latencies of Table 1 (single-cycle
+//     ALU, 3/25-cycle integer mul/div, 3-cycle FP, 5/10-cycle FP
+//     mul/div, loads, stores, branches),
+//   - value-prediction eligibility (µ-ops producing a 64-bit or less
+//     register readable by a subsequent µ-op),
+//   - x86-style condition flags: a subset of ALU µ-ops writes a flag
+//     register derived from the result and the operands, and the paper's
+//     flag approximation for value prediction (ZF/SF/PF derived from the
+//     predicted value, OF := 0, CF := SF, AF ignored) is implemented in
+//     DeriveFlags/ApproxFlags.
+//
+// Programs are sequences of static Inst values; the functional
+// interpreter in internal/prog executes them into dynamic µ-op streams.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The machine has NumIntRegs
+// integer registers r0..r31 and NumFPRegs floating-point registers
+// f0..f31. RegNone marks an absent operand.
+type Reg int16
+
+// Architectural register file dimensions.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumArchRegs is the total architectural register count across
+	// both files; renaming maps this space onto the PRF.
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// RegNone marks an unused operand slot.
+	RegNone Reg = -1
+
+	// LinkReg receives the return address on Call.
+	LinkReg Reg = NumIntRegs - 1
+)
+
+// IntReg returns the i'th integer architectural register.
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the i'th floating-point architectural register.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs }
+
+// Valid reports whether r names a real register (not RegNone).
+func (r Reg) Valid() bool { return r >= 0 && r < NumArchRegs }
+
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("r%d", int(r))
+	}
+}
+
+// Class groups µ-ops by execution resource and latency (Table 1 of the
+// paper).
+type Class uint8
+
+const (
+	// ClassALU is a single-cycle integer operation. Only this class is
+	// eligible for Early and Late Execution.
+	ClassALU Class = iota
+	// ClassMul is a pipelined 3-cycle integer multiply.
+	ClassMul
+	// ClassDiv is an unpipelined 25-cycle integer divide.
+	ClassDiv
+	// ClassFP is a pipelined 3-cycle FP add/sub/convert/compare.
+	ClassFP
+	// ClassFPMul is a pipelined 5-cycle FP multiply.
+	ClassFPMul
+	// ClassFPDiv is an unpipelined 10-cycle FP divide/sqrt.
+	ClassFPDiv
+	// ClassLoad is a memory load (AGU + cache access).
+	ClassLoad
+	// ClassStore is a memory store (AGU + SQ entry).
+	ClassStore
+	// ClassBranch is a conditional direct branch.
+	ClassBranch
+	// ClassJump is an unconditional direct jump.
+	ClassJump
+	// ClassCall is a direct call (writes LinkReg, pushes RAS).
+	ClassCall
+	// ClassReturn is an indirect jump through LinkReg (pops RAS).
+	ClassReturn
+	// ClassJumpReg is an indirect jump through a register.
+	ClassJumpReg
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"ALU", "Mul", "Div", "FP", "FPMul", "FPDiv",
+	"Load", "Store", "Branch", "Jump", "Call", "Return", "JumpReg",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Latency returns the execution latency in cycles for the class,
+// excluding memory hierarchy time for loads (Table 1). Loads report
+// their 1-cycle AGU slot; cache latency is added by the memory model.
+func (c Class) Latency() int {
+	switch c {
+	case ClassALU, ClassBranch, ClassJump, ClassCall, ClassReturn, ClassJumpReg:
+		return 1
+	case ClassMul, ClassFP:
+		return 3
+	case ClassFPMul:
+		return 5
+	case ClassFPDiv:
+		return 10
+	case ClassDiv:
+		return 25
+	case ClassLoad, ClassStore:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether the functional unit for the class accepts a
+// new µ-op every cycle. Integer and FP divides are unpipelined per
+// Table 1.
+func (c Class) Pipelined() bool {
+	return c != ClassDiv && c != ClassFPDiv
+}
+
+// IsBranch reports whether the class changes control flow.
+func (c Class) IsBranch() bool {
+	switch c {
+	case ClassBranch, ClassJump, ClassCall, ClassReturn, ClassJumpReg:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the class is a conditional branch (the
+// only branch kind TAGE direction-predicts and the only one eligible
+// for Late Execution per the paper: "we did not try to set confidence
+// on the other branches").
+func (c Class) IsCondBranch() bool { return c == ClassBranch }
+
+// IsIndirect reports whether the branch target comes from a register.
+func (c Class) IsIndirect() bool { return c == ClassReturn || c == ClassJumpReg }
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// SingleCycleALU reports whether the µ-op class is a single-cycle ALU
+// operation, the eligibility condition for Early and Late Execution
+// ("we limit ourselves to single-cycle ALU instructions").
+func (c Class) SingleCycleALU() bool { return c == ClassALU }
+
+// Opcode enumerates the µ-ops.
+type Opcode uint8
+
+const (
+	// Integer single-cycle ALU.
+	OpAdd  Opcode = iota // Dst = Src1 + Src2
+	OpSub                // Dst = Src1 - Src2
+	OpAddi               // Dst = Src1 + Imm
+	OpAnd                // Dst = Src1 & Src2
+	OpAndi               // Dst = Src1 & Imm
+	OpOr                 // Dst = Src1 | Src2
+	OpOri                // Dst = Src1 | Imm
+	OpXor                // Dst = Src1 ^ Src2
+	OpXori               // Dst = Src1 ^ Imm
+	OpShl                // Dst = Src1 << (Src2 & 63)
+	OpShli               // Dst = Src1 << (Imm & 63)
+	OpShr                // Dst = Src1 >> (Src2 & 63) logical
+	OpShri               // Dst = Src1 >> (Imm & 63) logical
+	OpSar                // Dst = int64(Src1) >> (Src2 & 63)
+	OpMovi               // Dst = Imm
+	OpMov                // Dst = Src1
+	OpSltu               // Dst = Src1 < Src2 ? 1 : 0 (unsigned)
+	OpSlt                // Dst = int64(Src1) < int64(Src2) ? 1 : 0
+
+	// Multi-cycle integer.
+	OpMul // Dst = Src1 * Src2 (3c)
+	OpDiv // Dst = Src1 / Src2 (25c, unpipelined; /0 yields ^0)
+	OpRem // Dst = Src1 % Src2 (25c, unpipelined; %0 yields Src1)
+
+	// Floating point (operands/results are float64 bit patterns).
+	OpFAdd // 3c
+	OpFSub // 3c
+	OpFCmp // 3c: Dst = 1 if f(Src1) < f(Src2) else 0 (integer result)
+	OpFCvt // 3c: Dst = float64(int64(Src1)) bits
+	OpFMul // 5c
+	OpFDiv // 10c, unpipelined
+	OpFSqrt
+
+	// Memory. Effective address = Src1 + Imm.
+	OpLd // Dst = Mem[EA]
+	OpSt // Mem[EA] = Src2
+
+	// Control. Conditional branches compare Src1 against Src2 (or zero
+	// for the *z forms); Target is the static instruction index.
+	OpBeq
+	OpBne
+	OpBlt  // signed
+	OpBge  // signed
+	OpBltu // unsigned
+	OpBeqz
+	OpBnez
+	OpJmp  // unconditional direct
+	OpCall // direct call: Dst(LinkReg) = return PC
+	OpRet  // indirect through Src1 (conventionally LinkReg)
+	OpJr   // indirect through Src1
+
+	// OpHalt stops the interpreter (end of program).
+	OpHalt
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	"add", "sub", "addi", "and", "andi", "or", "ori", "xor", "xori",
+	"shl", "shli", "shr", "shri", "sar", "movi", "mov", "sltu", "slt",
+	"mul", "div", "rem",
+	"fadd", "fsub", "fcmp", "fcvt", "fmul", "fdiv", "fsqrt",
+	"ld", "st",
+	"beq", "bne", "blt", "bge", "bltu", "beqz", "bnez",
+	"jmp", "call", "ret", "jr",
+	"halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// opClass maps opcodes to classes.
+var opClass = [numOpcodes]Class{
+	OpAdd: ClassALU, OpSub: ClassALU, OpAddi: ClassALU,
+	OpAnd: ClassALU, OpAndi: ClassALU, OpOr: ClassALU, OpOri: ClassALU,
+	OpXor: ClassALU, OpXori: ClassALU,
+	OpShl: ClassALU, OpShli: ClassALU, OpShr: ClassALU, OpShri: ClassALU,
+	OpSar: ClassALU, OpMovi: ClassALU, OpMov: ClassALU,
+	OpSltu: ClassALU, OpSlt: ClassALU,
+	OpMul: ClassMul, OpDiv: ClassDiv, OpRem: ClassDiv,
+	OpFAdd: ClassFP, OpFSub: ClassFP, OpFCmp: ClassFP, OpFCvt: ClassFP,
+	OpFMul: ClassFPMul, OpFDiv: ClassFPDiv, OpFSqrt: ClassFPDiv,
+	OpLd: ClassLoad, OpSt: ClassStore,
+	OpBeq: ClassBranch, OpBne: ClassBranch, OpBlt: ClassBranch,
+	OpBge: ClassBranch, OpBltu: ClassBranch, OpBeqz: ClassBranch,
+	OpBnez: ClassBranch,
+	OpJmp:  ClassJump, OpCall: ClassCall, OpRet: ClassReturn, OpJr: ClassJumpReg,
+	OpHalt: ClassJump,
+}
+
+// Class returns the execution class of the opcode.
+func (o Opcode) Class() Class { return opClass[o] }
+
+// writesFlags marks integer ALU opcodes that update the x86-style flag
+// register as a side effect (arithmetic and logic, per x86 semantics;
+// moves and shifts by immediate zero are excluded for simplicity).
+var writesFlags = map[Opcode]bool{
+	OpAdd: true, OpSub: true, OpAddi: true,
+	OpAnd: true, OpAndi: true, OpOr: true, OpOri: true,
+	OpXor: true, OpXori: true,
+}
+
+// WritesFlags reports whether the opcode updates the flag register.
+func (o Opcode) WritesFlags() bool { return writesFlags[o] }
+
+// HasImm reports whether the opcode consumes its Imm field as an
+// operand (memory ops use Imm as a displacement, not an operand).
+func (o Opcode) HasImm() bool {
+	switch o {
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpMovi:
+		return true
+	}
+	return false
+}
+
+// Inst is one static instruction of a program.
+type Inst struct {
+	Op     Opcode
+	Dst    Reg   // destination register, RegNone if none
+	Src1   Reg   // first source, RegNone if none
+	Src2   Reg   // second source, RegNone if none
+	Imm    int64 // immediate / displacement
+	Target int   // static instruction index for direct control flow
+}
+
+// Class returns the execution class of the instruction.
+func (in Inst) Class() Class { return in.Op.Class() }
+
+// VPEligible reports whether the µ-op is eligible for value prediction:
+// it produces a 64-bit or less register result that can be read by a
+// subsequent µ-op (§4.2 of the paper). Branches and stores have no
+// register destination and are not eligible. Call link-address writes
+// are trivially predictable and excluded, matching gem5's treatment of
+// control µ-ops.
+func (in Inst) VPEligible() bool {
+	return in.Dst.Valid() && !in.Class().IsBranch()
+}
+
+func (in Inst) String() string {
+	switch in.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Dst, in.Src1, in.Imm)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Src2, in.Src1, in.Imm)
+	case ClassBranch:
+		if in.Src2 == RegNone {
+			return fmt.Sprintf("%s %s, @%d", in.Op, in.Src1, in.Target)
+		}
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Target)
+	case ClassJump, ClassCall:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case ClassReturn, ClassJumpReg:
+		return fmt.Sprintf("%s %s", in.Op, in.Src1)
+	}
+	if in.Op.HasImm() {
+		if in.Src1 == RegNone {
+			return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+}

@@ -1,0 +1,316 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegConstructors(t *testing.T) {
+	if r := IntReg(0); r.IsFP() || !r.Valid() {
+		t.Fatalf("IntReg(0) = %v, want valid integer reg", r)
+	}
+	if r := FPReg(0); !r.IsFP() || !r.Valid() {
+		t.Fatalf("FPReg(0) = %v, want valid fp reg", r)
+	}
+	if RegNone.Valid() {
+		t.Fatal("RegNone must not be valid")
+	}
+	if got := FPReg(3).String(); got != "f3" {
+		t.Fatalf("FPReg(3).String() = %q, want f3", got)
+	}
+	if got := IntReg(7).String(); got != "r7" {
+		t.Fatalf("IntReg(7).String() = %q, want r7", got)
+	}
+	if got := RegNone.String(); got != "-" {
+		t.Fatalf("RegNone.String() = %q, want -", got)
+	}
+}
+
+func TestRegConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { IntReg(-1) },
+		func() { IntReg(NumIntRegs) },
+		func() { FPReg(-1) },
+		func() { FPReg(NumFPRegs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClassLatencies(t *testing.T) {
+	// Latencies from Table 1 of the paper.
+	cases := []struct {
+		c    Class
+		lat  int
+		pipe bool
+	}{
+		{ClassALU, 1, true},
+		{ClassMul, 3, true},
+		{ClassDiv, 25, false},
+		{ClassFP, 3, true},
+		{ClassFPMul, 5, true},
+		{ClassFPDiv, 10, false},
+		{ClassLoad, 1, true},
+		{ClassStore, 1, true},
+		{ClassBranch, 1, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Latency(); got != c.lat {
+			t.Errorf("%v.Latency() = %d, want %d", c.c, got, c.lat)
+		}
+		if got := c.c.Pipelined(); got != c.pipe {
+			t.Errorf("%v.Pipelined() = %v, want %v", c.c, got, c.pipe)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	branchy := []Class{ClassBranch, ClassJump, ClassCall, ClassReturn, ClassJumpReg}
+	for _, c := range branchy {
+		if !c.IsBranch() {
+			t.Errorf("%v.IsBranch() = false, want true", c)
+		}
+		if c.SingleCycleALU() {
+			t.Errorf("%v.SingleCycleALU() = true, want false", c)
+		}
+	}
+	if !ClassALU.SingleCycleALU() {
+		t.Error("ClassALU must be single-cycle ALU")
+	}
+	if ClassMul.SingleCycleALU() {
+		t.Error("ClassMul must not be single-cycle ALU")
+	}
+	if !ClassBranch.IsCondBranch() || ClassJump.IsCondBranch() {
+		t.Error("only ClassBranch is a conditional branch")
+	}
+	if !ClassReturn.IsIndirect() || !ClassJumpReg.IsIndirect() || ClassJump.IsIndirect() {
+		t.Error("indirect classification wrong")
+	}
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() || ClassALU.IsMem() {
+		t.Error("memory classification wrong")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op Opcode
+		c  Class
+	}{
+		{OpAdd, ClassALU}, {OpMovi, ClassALU}, {OpSlt, ClassALU},
+		{OpMul, ClassMul}, {OpDiv, ClassDiv}, {OpRem, ClassDiv},
+		{OpFAdd, ClassFP}, {OpFMul, ClassFPMul}, {OpFDiv, ClassFPDiv},
+		{OpLd, ClassLoad}, {OpSt, ClassStore},
+		{OpBeq, ClassBranch}, {OpJmp, ClassJump}, {OpCall, ClassCall},
+		{OpRet, ClassReturn}, {OpJr, ClassJumpReg},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.c {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.c)
+		}
+	}
+}
+
+func TestVPEligibility(t *testing.T) {
+	// Produces a register: eligible.
+	add := Inst{Op: OpAdd, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}
+	if !add.VPEligible() {
+		t.Error("add with dst must be VP-eligible")
+	}
+	ld := Inst{Op: OpLd, Dst: IntReg(1), Src1: IntReg(2)}
+	if !ld.VPEligible() {
+		t.Error("load must be VP-eligible")
+	}
+	// No destination: not eligible.
+	st := Inst{Op: OpSt, Dst: RegNone, Src1: IntReg(1), Src2: IntReg(2)}
+	if st.VPEligible() {
+		t.Error("store must not be VP-eligible")
+	}
+	br := Inst{Op: OpBeq, Dst: RegNone, Src1: IntReg(1), Src2: IntReg(2)}
+	if br.VPEligible() {
+		t.Error("branch must not be VP-eligible")
+	}
+	// Call writes LinkReg but is a branch: not eligible.
+	call := Inst{Op: OpCall, Dst: LinkReg}
+	if call.VPEligible() {
+		t.Error("call must not be VP-eligible")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Dst: IntReg(1), Src1: IntReg(2), Imm: 8}, "addi r1, r2, 8"},
+		{Inst{Op: OpMovi, Dst: IntReg(5), Src1: RegNone, Imm: -1}, "movi r5, -1"},
+		{Inst{Op: OpLd, Dst: IntReg(1), Src1: IntReg(2), Imm: 16}, "ld r1, [r2+16]"},
+		{Inst{Op: OpSt, Src1: IntReg(2), Src2: IntReg(3), Imm: -8, Dst: RegNone}, "st r3, [r2-8]"},
+		{Inst{Op: OpBeqz, Src1: IntReg(4), Src2: RegNone, Target: 7, Dst: RegNone}, "beqz r4, @7"},
+		{Inst{Op: OpBne, Src1: IntReg(4), Src2: IntReg(5), Target: 2, Dst: RegNone}, "bne r4, r5, @2"},
+		{Inst{Op: OpJmp, Target: 9, Dst: RegNone, Src1: RegNone, Src2: RegNone}, "jmp @9"},
+		{Inst{Op: OpRet, Src1: LinkReg, Dst: RegNone, Src2: RegNone}, "ret r31"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpcodeAndClassNames(t *testing.T) {
+	for o := Opcode(0); o < numOpcodes; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "Opcode(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "Class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+func TestTrueFlagsAdd(t *testing.T) {
+	// 0xFFFF...F + 1 = 0 with carry, no signed overflow.
+	f := TrueFlags(OpAdd, ^uint64(0), 1, 0)
+	if f&FlagZF == 0 || f&FlagCF == 0 {
+		t.Errorf("(-1)+1: flags = %08b, want ZF and CF set", f)
+	}
+	if f&FlagOF != 0 {
+		t.Errorf("(-1)+1 must not set OF")
+	}
+	// MaxInt64 + 1 overflows signed.
+	f = TrueFlags(OpAdd, 1<<63-1, 1, 1<<63)
+	if f&FlagOF == 0 {
+		t.Errorf("MaxInt64+1: flags = %08b, want OF set", f)
+	}
+	if f&FlagSF == 0 {
+		t.Errorf("MaxInt64+1: result is negative, want SF")
+	}
+}
+
+func TestTrueFlagsSub(t *testing.T) {
+	// 1 - 2 borrows (CF) and is negative.
+	var one uint64 = 1
+	f := TrueFlags(OpSub, one, 2, one-2)
+	if f&FlagCF == 0 || f&FlagSF == 0 {
+		t.Errorf("1-2: flags = %08b, want CF and SF", f)
+	}
+	// MinInt64 - 1 overflows signed.
+	minI := uint64(1) << 63
+	f = TrueFlags(OpSub, minI, 1, minI-1)
+	if f&FlagOF == 0 {
+		t.Errorf("MinInt64-1: want OF set")
+	}
+}
+
+func TestTrueFlagsLogic(t *testing.T) {
+	// Logic ops must clear CF and OF.
+	f := TrueFlags(OpAnd, ^uint64(0), ^uint64(0), ^uint64(0))
+	if f&(FlagCF|FlagOF) != 0 {
+		t.Errorf("and: CF/OF must be clear, got %08b", f)
+	}
+	if f&FlagSF == 0 {
+		t.Errorf("and of -1: want SF")
+	}
+}
+
+func TestApproxFlagsPaperRule(t *testing.T) {
+	// OF always 0; CF == SF.
+	for _, v := range []uint64{0, 1, ^uint64(0), 1 << 63, 0xdeadbeef} {
+		f := ApproxFlags(v)
+		if f&FlagOF != 0 {
+			t.Errorf("ApproxFlags(%#x) sets OF", v)
+		}
+		if (f&FlagCF != 0) != (f&FlagSF != 0) {
+			t.Errorf("ApproxFlags(%#x): CF must equal SF", v)
+		}
+	}
+}
+
+func TestFlagsMatch(t *testing.T) {
+	// A correct positive add with no carry: approximation agrees.
+	actual := TrueFlags(OpAdd, 2, 3, 5)
+	if !FlagsMatch(5, actual) {
+		t.Error("2+3=5: approximation should match")
+	}
+	// Carry-producing add of two positives: CF set but SF clear, so the
+	// approximation (CF:=SF) disagrees -> prediction counted wrong.
+	actual = TrueFlags(OpAdd, ^uint64(0), 2, 1)
+	if FlagsMatch(1, actual) {
+		t.Error("carry without sign: approximation must mismatch")
+	}
+	// AF differences alone must not cause a mismatch.
+	actual = TrueFlags(OpAdd, 0xF, 1, 0x10) // sets AF only
+	if !FlagsMatch(0x10, actual) {
+		t.Error("AF-only difference must be ignored")
+	}
+}
+
+func TestFlagPropertyZFIffZero(t *testing.T) {
+	f := func(v uint64) bool {
+		return (ApproxFlags(v)&FlagZF != 0) == (v == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagPropertySFIffNegative(t *testing.T) {
+	f := func(v uint64) bool {
+		return (ApproxFlags(v)&FlagSF != 0) == (int64(v) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagPropertyDerivedBitsAgree(t *testing.T) {
+	// For any op and operands, the result-derived bits (ZF/SF/PF) of
+	// TrueFlags always equal those of ApproxFlags on the same result.
+	f := func(a, b uint64) bool {
+		res := a + b
+		tf := TrueFlags(OpAdd, a, b, res)
+		af := ApproxFlags(res)
+		mask := FlagZF | FlagSF | FlagPF
+		return tf&mask == af&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritesFlags(t *testing.T) {
+	if !OpAdd.WritesFlags() || !OpXori.WritesFlags() {
+		t.Error("arithmetic/logic ops must write flags")
+	}
+	for _, o := range []Opcode{OpMov, OpMovi, OpLd, OpSt, OpMul, OpFAdd, OpBeq, OpShl} {
+		if o.WritesFlags() {
+			t.Errorf("%v must not write flags", o)
+		}
+	}
+}
+
+func TestHasImm(t *testing.T) {
+	for _, o := range []Opcode{OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpMovi} {
+		if !o.HasImm() {
+			t.Errorf("%v must report HasImm", o)
+		}
+	}
+	for _, o := range []Opcode{OpAdd, OpLd, OpSt, OpBeq} {
+		if o.HasImm() {
+			t.Errorf("%v must not report HasImm", o)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"eole/internal/isa"
+)
+
+// MicroOp is one dynamic instruction as produced by the functional
+// interpreter: the static µ-op plus everything the timing model and
+// the predictors need to know about this execution of it.
+type MicroOp struct {
+	Seq   uint64 // dynamic sequence number, starting at 0
+	Index int    // static instruction index
+	PC    uint64 // virtual PC
+
+	Op   isa.Opcode
+	Dst  isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+
+	Value uint64    // result written to Dst (if Dst is valid)
+	Flags isa.Flags // architectural flags produced (if Op.WritesFlags)
+
+	Addr      uint64 // effective address for loads/stores
+	StoreData uint64 // value written by stores
+
+	Taken  bool   // branch direction (branches only)
+	NextPC uint64 // PC of the next dynamic instruction
+}
+
+// Class returns the execution class of the µ-op.
+func (u *MicroOp) Class() isa.Class { return u.Op.Class() }
+
+// IsBranch reports whether the µ-op redirects control flow.
+func (u *MicroOp) IsBranch() bool { return u.Op.Class().IsBranch() }
+
+// VPEligible reports value-prediction eligibility (see isa.Inst).
+func (u *MicroOp) VPEligible() bool {
+	return u.Dst.Valid() && !u.Op.Class().IsBranch()
+}
+
+// pageBits/pageWords define the sparse memory page geometry: 4KB pages
+// of 512 8-byte words.
+const (
+	pageBits  = 9
+	pageWords = 1 << pageBits
+	pageMask  = pageWords - 1
+)
+
+// Memory is a sparse 64-bit word-addressable memory. Addresses are byte
+// addresses; accesses are 8-byte (the IR has a single access size,
+// which keeps the cache model focused on locality rather than
+// sub-word handling).
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageWords]uint64{}}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageWords]uint64 {
+	key := addr >> (pageBits + 3)
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([pageWords]uint64)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read returns the word at addr (byte address, rounded down to 8).
+func (m *Memory) Read(addr uint64) uint64 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[(addr>>3)&pageMask]
+}
+
+// Write stores the word at addr.
+func (m *Memory) Write(addr, val uint64) {
+	m.page(addr, true)[(addr>>3)&pageMask] = val
+}
+
+// Footprint returns the number of distinct pages touched.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Machine executes a Program functionally, one µ-op per Step.
+type Machine struct {
+	Prog *Program
+	Regs [isa.NumArchRegs]uint64
+	Mem  *Memory
+
+	pc     int // static instruction index
+	seq    uint64
+	halted bool
+}
+
+// NewMachine returns a Machine at the entry of p with zeroed state.
+func NewMachine(p *Program) *Machine {
+	return &Machine{Prog: p, Mem: NewMemory()}
+}
+
+// Halted reports whether the program has executed OpHalt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Seq returns the number of µ-ops executed so far.
+func (m *Machine) Seq() uint64 { return m.seq }
+
+// SetReg initializes an architectural register (for workload setup).
+func (m *Machine) SetReg(r isa.Reg, v uint64) { m.Regs[r] = v }
+
+// SetFReg initializes an FP register from a float64.
+func (m *Machine) SetFReg(r isa.Reg, v float64) { m.Regs[r] = math.Float64bits(v) }
+
+func (m *Machine) reg(r isa.Reg) uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func f64(v uint64) float64    { return math.Float64frombits(v) }
+func bitsOf(f float64) uint64 { return math.Float64bits(f) }
+
+// Step executes one µ-op and returns its dynamic record. ok is false
+// once the machine has halted.
+func (m *Machine) Step() (u MicroOp, ok bool) {
+	if m.halted {
+		return MicroOp{}, false
+	}
+	if m.pc < 0 || m.pc >= len(m.Prog.Code) {
+		panic(fmt.Sprintf("prog: %s: pc %d out of range", m.Prog.Name, m.pc))
+	}
+	in := m.Prog.Code[m.pc]
+	u = MicroOp{
+		Seq:   m.seq,
+		Index: m.pc,
+		PC:    m.Prog.PC(m.pc),
+		Op:    in.Op,
+		Dst:   in.Dst,
+		Src1:  in.Src1,
+		Src2:  in.Src2,
+	}
+	m.seq++
+
+	a, bv := m.reg(in.Src1), m.reg(in.Src2)
+	next := m.pc + 1
+
+	switch in.Op {
+	case isa.OpAdd:
+		u.Value = a + bv
+	case isa.OpSub:
+		u.Value = a - bv
+	case isa.OpAddi:
+		u.Value = a + uint64(in.Imm)
+	case isa.OpAnd:
+		u.Value = a & bv
+	case isa.OpAndi:
+		u.Value = a & uint64(in.Imm)
+	case isa.OpOr:
+		u.Value = a | bv
+	case isa.OpOri:
+		u.Value = a | uint64(in.Imm)
+	case isa.OpXor:
+		u.Value = a ^ bv
+	case isa.OpXori:
+		u.Value = a ^ uint64(in.Imm)
+	case isa.OpShl:
+		u.Value = a << (bv & 63)
+	case isa.OpShli:
+		u.Value = a << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		u.Value = a >> (bv & 63)
+	case isa.OpShri:
+		u.Value = a >> (uint64(in.Imm) & 63)
+	case isa.OpSar:
+		u.Value = uint64(int64(a) >> (bv & 63))
+	case isa.OpMovi:
+		u.Value = uint64(in.Imm)
+	case isa.OpMov:
+		u.Value = a
+	case isa.OpSltu:
+		if a < bv {
+			u.Value = 1
+		}
+	case isa.OpSlt:
+		if int64(a) < int64(bv) {
+			u.Value = 1
+		}
+	case isa.OpMul:
+		u.Value = a * bv
+	case isa.OpDiv:
+		if bv == 0 {
+			u.Value = ^uint64(0)
+		} else {
+			u.Value = a / bv
+		}
+	case isa.OpRem:
+		if bv == 0 {
+			u.Value = a
+		} else {
+			u.Value = a % bv
+		}
+	case isa.OpFAdd:
+		u.Value = bitsOf(f64(a) + f64(bv))
+	case isa.OpFSub:
+		u.Value = bitsOf(f64(a) - f64(bv))
+	case isa.OpFMul:
+		u.Value = bitsOf(f64(a) * f64(bv))
+	case isa.OpFDiv:
+		u.Value = bitsOf(f64(a) / f64(bv))
+	case isa.OpFSqrt:
+		u.Value = bitsOf(math.Sqrt(f64(a)))
+	case isa.OpFCmp:
+		if f64(a) < f64(bv) {
+			u.Value = 1
+		}
+	case isa.OpFCvt:
+		u.Value = bitsOf(float64(int64(a)))
+	case isa.OpLd:
+		u.Addr = a + uint64(in.Imm)
+		u.Value = m.Mem.Read(u.Addr)
+	case isa.OpSt:
+		u.Addr = a + uint64(in.Imm)
+		u.StoreData = bv
+		m.Mem.Write(u.Addr, bv)
+	case isa.OpBeq:
+		u.Taken = a == bv
+	case isa.OpBne:
+		u.Taken = a != bv
+	case isa.OpBlt:
+		u.Taken = int64(a) < int64(bv)
+	case isa.OpBge:
+		u.Taken = int64(a) >= int64(bv)
+	case isa.OpBltu:
+		u.Taken = a < bv
+	case isa.OpBeqz:
+		u.Taken = a == 0
+	case isa.OpBnez:
+		u.Taken = a != 0
+	case isa.OpJmp:
+		u.Taken = true
+		next = in.Target
+	case isa.OpCall:
+		u.Taken = true
+		u.Value = m.Prog.PC(m.pc + 1)
+		next = in.Target
+	case isa.OpRet, isa.OpJr:
+		u.Taken = true
+		next = m.Prog.IndexOf(a)
+	case isa.OpHalt:
+		m.halted = true
+		u.NextPC = u.PC
+		return u, true
+	default:
+		panic(fmt.Sprintf("prog: unimplemented opcode %v", in.Op))
+	}
+
+	if in.Op.Class() == isa.ClassBranch && u.Taken {
+		next = in.Target
+	}
+	if in.Dst.Valid() {
+		m.Regs[in.Dst] = u.Value
+	}
+	if in.Op.WritesFlags() {
+		imm := uint64(in.Imm)
+		if !in.Op.HasImm() {
+			imm = bv
+		}
+		u.Flags = isa.TrueFlags(in.Op, a, imm, u.Value)
+	}
+
+	m.pc = next
+	u.NextPC = m.Prog.PC(next)
+	return u, true
+}
+
+// Run executes up to n µ-ops, invoking f for each. It stops early if
+// the machine halts or f returns false. It returns the number of µ-ops
+// executed.
+func (m *Machine) Run(n uint64, f func(*MicroOp) bool) uint64 {
+	var done uint64
+	for done < n {
+		u, ok := m.Step()
+		if !ok {
+			break
+		}
+		done++
+		if f != nil && !f(&u) {
+			break
+		}
+	}
+	return done
+}
+
+// Source adapts a Machine to a pull-based µ-op stream.
+type Source interface {
+	// Next fills *u with the next dynamic µ-op and reports whether one
+	// was available.
+	Next(u *MicroOp) bool
+}
+
+// MachineSource wraps a Machine as a Source.
+type MachineSource struct{ M *Machine }
+
+// Next implements Source.
+func (s MachineSource) Next(u *MicroOp) bool {
+	v, ok := s.M.Step()
+	if ok {
+		*u = v
+	}
+	return ok
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderChart draws a horizontal ASCII bar chart of one column,
+// approximating the paper's figure form. A reference line at ref
+// (e.g. 1.0 for speedup figures) is marked with '|'; bars are scaled
+// to width characters at the column maximum.
+func (t *Table) RenderChart(col string, ref float64, width int) (string, error) {
+	vals, ok := t.ColumnByName(col)
+	if !ok {
+		return "", fmt.Errorf("stats: no column %q", col)
+	}
+	if width < 10 {
+		width = 10
+	}
+	max := Max(vals)
+	if ref > max {
+		max = ref
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.Title, col)
+	nameW := len(t.RowName)
+	for _, r := range t.rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	scale := float64(width) / max
+	refPos := -1
+	if ref > 0 {
+		refPos = int(ref*scale + 0.5)
+		if refPos >= width {
+			refPos = width - 1
+		}
+	}
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	for _, r := range t.rows {
+		v := r.vals[ci]
+		n := int(v*scale + 0.5)
+		if n > width {
+			n = width
+		}
+		bar := make([]byte, width)
+		for i := range bar {
+			switch {
+			case i < n:
+				bar[i] = '#'
+			case i == refPos:
+				bar[i] = '|'
+			default:
+				bar[i] = ' '
+			}
+		}
+		if refPos >= 0 && refPos < n {
+			bar[refPos] = '|'
+		}
+		fmt.Fprintf(&b, "%-*s %s %7.3f\n", nameW+2, r.name, string(bar), v)
+	}
+	if ref > 0 {
+		fmt.Fprintf(&b, "%-*s %*s (reference %.2f)\n", nameW+2, "", refPos+2, "^", ref)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	tb := NewTable("Figure 7", "benchmark", "speedup")
+	tb.AddRow("namd", 1.25)
+	tb.AddRow("hmmer", 0.79)
+	tb.AddRow("crafty", 1.00)
+	out, err := tb.RenderChart("speedup", 1.0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"namd", "hmmer", "1.250", "0.790", "#", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// namd's bar must be the longest.
+	lines := strings.Split(out, "\n")
+	count := func(prefix string) int {
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	if count("namd") <= count("hmmer") {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestRenderChartUnknownColumn(t *testing.T) {
+	tb := NewTable("T", "r", "a")
+	if _, err := tb.RenderChart("zzz", 1, 40); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestRenderChartClampsWidth(t *testing.T) {
+	tb := NewTable("T", "r", "a")
+	tb.AddRow("x", 5.0)
+	out, err := tb.RenderChart("a", 0, 5) // width below minimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+}

@@ -1,0 +1,172 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses: geometric means, speedup series, and
+// fixed-width table rendering of the paper's figures as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (1.0 for empty input).
+// Non-positive entries are skipped: they indicate a failed run and
+// must not poison the mean.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table is a rendered experiment artefact: one row per benchmark, one
+// column per configuration/series, matching a figure of the paper.
+type Table struct {
+	Title   string
+	Note    string
+	RowName string // header of the first column, e.g. "benchmark"
+	Columns []string
+	rows    []row
+	// Summary rows (geomean etc.) are appended at render time.
+	WithGeomean bool
+}
+
+type row struct {
+	name string
+	vals []float64
+}
+
+// NewTable creates a table with the given value columns.
+func NewTable(title, rowName string, columns ...string) *Table {
+	return &Table{Title: title, RowName: rowName, Columns: columns}
+}
+
+// AddRow appends a benchmark row; vals must match Columns.
+func (t *Table) AddRow(name string, vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %s has %d values, table has %d columns",
+			name, len(vals), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{name: name, vals: vals})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Column returns the values of column i in row order.
+func (t *Table) Column(i int) []float64 {
+	out := make([]float64, len(t.rows))
+	for r, rw := range t.rows {
+		out[r] = rw.vals[i]
+	}
+	return out
+}
+
+// ColumnByName returns the values of the named column.
+func (t *Table) ColumnByName(name string) ([]float64, bool) {
+	for i, c := range t.Columns {
+		if c == name {
+			return t.Column(i), true
+		}
+	}
+	return nil, false
+}
+
+// Value returns the cell for (benchmark, column).
+func (t *Table) Value(rowName, col string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if r.name == rowName {
+			return r.vals[ci], true
+		}
+	}
+	return 0, false
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	nameW := len(t.RowName)
+	for _, r := range t.rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, t.RowName)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW[i]+2, c)
+	}
+	b.WriteByte('\n')
+	writeRow := func(name string, vals []float64) {
+		fmt.Fprintf(&b, "%-*s", nameW+2, name)
+		for i, v := range vals {
+			fmt.Fprintf(&b, "%*.3f", colW[i]+2, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r.name, r.vals)
+	}
+	if t.WithGeomean && len(t.rows) > 0 {
+		gm := make([]float64, len(t.Columns))
+		for i := range t.Columns {
+			gm[i] = Geomean(t.Column(i))
+		}
+		writeRow("geomean", gm)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 1 {
+		t.Fatalf("Geomean(nil) = %v, want 1", g)
+	}
+	// Non-positive entries are skipped.
+	if g := Geomean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean with junk = %v, want 4", g)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/16 + 0.5
+			scaled[i] = xs[i] * 3
+		}
+		return math.Abs(Geomean(scaled)-3*Geomean(xs)) < 1e-9*Geomean(scaled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max must be 0")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tb := NewTable("Figure X", "benchmark", "a", "b")
+	tb.AddRow("gzip", 1.0, 2.0)
+	tb.AddRow("mcf", 3.0, 4.0)
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	col, ok := tb.ColumnByName("b")
+	if !ok || col[0] != 2 || col[1] != 4 {
+		t.Fatalf("ColumnByName(b) = %v,%v", col, ok)
+	}
+	if _, ok := tb.ColumnByName("zzz"); ok {
+		t.Fatal("unknown column must miss")
+	}
+	v, ok := tb.Value("mcf", "a")
+	if !ok || v != 3 {
+		t.Fatalf("Value(mcf,a) = %v,%v", v, ok)
+	}
+	if _, ok := tb.Value("nope", "a"); ok {
+		t.Fatal("unknown row must miss")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "benchmark", "speedup")
+	tb.Note = "test note"
+	tb.WithGeomean = true
+	tb.AddRow("gzip", 2.0)
+	tb.AddRow("mcf", 8.0)
+	out := tb.Render()
+	for _, want := range []string{"Figure X", "test note", "benchmark", "gzip", "2.000", "geomean", "4.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	tb := NewTable("T", "r", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong arity")
+		}
+	}()
+	tb.AddRow("x", 1.0)
+}

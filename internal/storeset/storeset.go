@@ -1,0 +1,156 @@
+// Package storeset implements the Store Sets memory dependence
+// predictor of Chrysos & Emer (ISCA 1998), configured as in Table 1 of
+// the paper: 1K-entry SSIT (Store Set ID Table) and LFST (Last Fetched
+// Store Table). The out-of-order core consults it to decide whether a
+// load may issue before older stores with unresolved addresses;
+// violations train the predictor by merging the load and store into
+// one store set.
+package storeset
+
+// Invalid marks "no store set" / "no inflight store".
+const Invalid = ^uint32(0)
+
+// Config sizes the predictor.
+type Config struct {
+	// SSITBits is log2 of the SSIT entries (10 -> 1K, Table 1).
+	SSITBits int
+	// LFSTSize is the number of store sets tracked (1K, Table 1).
+	LFSTSize int
+	// ClearEvery resets the tables after this many accesses, the
+	// standard cyclic-clearing policy that lets false dependencies
+	// decay. Zero disables clearing.
+	ClearEvery uint64
+}
+
+// DefaultConfig returns the Table 1 configuration.
+func DefaultConfig() Config {
+	return Config{SSITBits: 10, LFSTSize: 1024, ClearEvery: 1 << 20}
+}
+
+// StoreSets is the predictor.
+type StoreSets struct {
+	cfg      Config
+	ssit     []uint32 // PC hash -> store set id (Invalid = none)
+	lfst     []uint64 // store set id -> sequence number of last fetched store
+	lfstSeq  []bool   // whether lfst entry is live
+	accesses uint64
+
+	// Stats.
+	Merges     uint64
+	LoadsAsked uint64
+	LoadsDep   uint64
+}
+
+// New builds a Store Sets predictor.
+func New(cfg Config) *StoreSets {
+	s := &StoreSets{
+		cfg:     cfg,
+		ssit:    make([]uint32, 1<<cfg.SSITBits),
+		lfst:    make([]uint64, cfg.LFSTSize),
+		lfstSeq: make([]bool, cfg.LFSTSize),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = Invalid
+	}
+	return s
+}
+
+func (s *StoreSets) index(pc uint64) uint32 {
+	h := (pc >> 2) ^ (pc >> (2 + uint(s.cfg.SSITBits)))
+	return uint32(h) & ((1 << s.cfg.SSITBits) - 1)
+}
+
+func (s *StoreSets) tick() {
+	s.accesses++
+	if s.cfg.ClearEvery != 0 && s.accesses%s.cfg.ClearEvery == 0 {
+		for i := range s.ssit {
+			s.ssit[i] = Invalid
+		}
+		for i := range s.lfstSeq {
+			s.lfstSeq[i] = false
+		}
+	}
+}
+
+// OnStoreDispatch records that the store at pc (dynamic sequence seq)
+// is now the youngest fetched store of its set, and returns the
+// sequence of the previous store in the same set (stores in one set
+// execute in order), or Invalid semantics via ok=false.
+func (s *StoreSets) OnStoreDispatch(pc uint64, seq uint64) (prevStore uint64, ok bool) {
+	s.tick()
+	id := s.ssit[s.index(pc)]
+	if id == Invalid {
+		return 0, false
+	}
+	slot := id % uint32(s.cfg.LFSTSize)
+	prev, live := s.lfst[slot], s.lfstSeq[slot]
+	s.lfst[slot] = seq
+	s.lfstSeq[slot] = true
+	return prev, live
+}
+
+// OnStoreComplete removes the store from the LFST if it is still the
+// youngest of its set.
+func (s *StoreSets) OnStoreComplete(pc uint64, seq uint64) {
+	id := s.ssit[s.index(pc)]
+	if id == Invalid {
+		return
+	}
+	slot := id % uint32(s.cfg.LFSTSize)
+	if s.lfstSeq[slot] && s.lfst[slot] == seq {
+		s.lfstSeq[slot] = false
+	}
+}
+
+// OnLoadDispatch asks whether the load at pc must wait for an inflight
+// store; it returns that store's sequence number when a dependence is
+// predicted.
+func (s *StoreSets) OnLoadDispatch(pc uint64) (waitFor uint64, dep bool) {
+	s.tick()
+	s.LoadsAsked++
+	id := s.ssit[s.index(pc)]
+	if id == Invalid {
+		return 0, false
+	}
+	slot := id % uint32(s.cfg.LFSTSize)
+	if !s.lfstSeq[slot] {
+		return 0, false
+	}
+	s.LoadsDep++
+	return s.lfst[slot], true
+}
+
+// OnViolation trains the predictor after a memory-order violation
+// between a load and an older store, using the Chrysos-Emer merge
+// rules: if neither has a set, create one; if one has a set, the other
+// joins it; if both have sets, both are assigned the smaller id.
+func (s *StoreSets) OnViolation(loadPC, storePC uint64) {
+	s.Merges++
+	li, si := s.index(loadPC), s.index(storePC)
+	lid, sid := s.ssit[li], s.ssit[si]
+	switch {
+	case lid == Invalid && sid == Invalid:
+		id := uint32(s.index(loadPC)) // deterministic new id
+		s.ssit[li] = id
+		s.ssit[si] = id
+	case lid == Invalid:
+		s.ssit[li] = sid
+	case sid == Invalid:
+		s.ssit[si] = lid
+	default:
+		id := lid
+		if sid < id {
+			id = sid
+		}
+		s.ssit[li] = id
+		s.ssit[si] = id
+	}
+}
+
+// DependenceRate reports the fraction of loads predicted dependent.
+func (s *StoreSets) DependenceRate() float64 {
+	if s.LoadsAsked == 0 {
+		return 0
+	}
+	return float64(s.LoadsDep) / float64(s.LoadsAsked)
+}

@@ -1,0 +1,72 @@
+// Package vpred implements the value prediction stack of the paper:
+// the computational predictors (last value, stride, 2-delta stride),
+// the context-based predictors (order-k FCM and VTAGE), the
+// VTAGE-2DStride hybrid used throughout the evaluation (Table 2), and
+// Forward Probabilistic Counters (FPC) for confidence estimation.
+//
+// FPC is the enabling mechanism for the whole paper: it pushes value
+// misprediction rates low enough that validation can move to commit
+// time and recovery can be a full pipeline squash, which in turn is
+// what allows Early and Late Execution to bypass the OoO engine.
+package vpred
+
+// FPCVector is the vector of inverse forward-transition probabilities
+// for a Forward Probabilistic Counter. Element i is the denominator of
+// the probability of moving from confidence level i to i+1 on a
+// correct prediction (1 = always). The paper uses
+// v = {1, 1/32, 1/32, 1/32, 1/32, 1/64, 1/64} for 3-bit counters with
+// VTAGE-2DStride (§4.2).
+type FPCVector []uint32
+
+// DefaultFPCVector returns the paper's probability vector.
+func DefaultFPCVector() FPCVector {
+	return FPCVector{1, 32, 32, 32, 32, 64, 64}
+}
+
+// Saturation is the confidence ceiling of a 3-bit FPC counter; a
+// prediction is used only when its counter has reached this value.
+const Saturation = 7
+
+// FPC draws probabilistic forward transitions from a deterministic
+// xorshift PRNG, so simulations are reproducible.
+type FPC struct {
+	vec  FPCVector
+	rand uint64
+}
+
+// NewFPC builds an FPC transition engine with the given vector.
+func NewFPC(vec FPCVector) *FPC {
+	if len(vec) != Saturation {
+		panic("vpred: FPC vector must have 7 elements (3-bit counter)")
+	}
+	return &FPC{vec: vec, rand: 0x9E3779B97F4A7C15}
+}
+
+func (f *FPC) next() uint64 {
+	f.rand ^= f.rand << 13
+	f.rand ^= f.rand >> 7
+	f.rand ^= f.rand << 17
+	return f.rand
+}
+
+// Bump applies one training event to the counter: probabilistic
+// increment on a correct prediction, reset to zero on a misprediction.
+// The reset-on-wrong policy is what makes saturated counters imply
+// very high accuracy: a counter can only be saturated after a long
+// unbroken run of correct predictions.
+func (f *FPC) Bump(conf *uint8, correct bool) {
+	if !correct {
+		*conf = 0
+		return
+	}
+	if *conf >= Saturation {
+		return
+	}
+	inv := f.vec[*conf]
+	if inv <= 1 || f.next()%uint64(inv) == 0 {
+		*conf++
+	}
+}
+
+// Confident reports whether the counter authorizes using a prediction.
+func Confident(conf uint8) bool { return conf >= Saturation }

@@ -1,0 +1,70 @@
+package vpred
+
+import (
+	"testing"
+
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// meterWith runs a 2-delta stride predictor with the given FPC vector
+// over a workload's value stream.
+func meterWith(t *testing.T, vec FPCVector, wl string, n uint64) *Meter {
+	t.Helper()
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := &Meter{P: NewTwoDeltaStride(13, vec)}
+	m := w.NewMachine()
+	m.Run(n, func(u *prog.MicroOp) bool {
+		if u.VPEligible() {
+			meter.Observe(u.PC, u.Value)
+		}
+		return true
+	})
+	return meter
+}
+
+// TestFPCIsLoadBearing is the enabling claim of the whole paper
+// lineage: with plain 3-bit counters (every forward transition taken),
+// the squash-driving used-but-wrong rate is far higher than with the
+// paper's probability vector; FPC buys the accuracy that makes
+// commit-time validation + squash viable.
+func TestFPCIsLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	plain := FPCVector{1, 1, 1, 1, 1, 1, 1}
+	paper := DefaultFPCVector()
+	for _, wl := range []string{"gzip", "bzip2", "vpr"} {
+		mPlain := meterWith(t, plain, wl, 120_000)
+		mPaper := meterWith(t, paper, wl, 120_000)
+		if mPlain.UsedWrong == 0 {
+			continue // nothing to compare on this stream
+		}
+		if mPaper.MispredictPerKilo() >= mPlain.MispredictPerKilo() {
+			t.Errorf("%s: paper FPC wrong/kilo %.3f not below plain %.3f",
+				wl, mPaper.MispredictPerKilo(), mPlain.MispredictPerKilo())
+		}
+		// And the improvement must be large (the paper's point).
+		if mPlain.MispredictPerKilo() < 3*mPaper.MispredictPerKilo()+0.01 {
+			t.Errorf("%s: FPC advantage too small: %.3f vs %.3f",
+				wl, mPaper.MispredictPerKilo(), mPlain.MispredictPerKilo())
+		}
+	}
+}
+
+// TestFPCCoverageTradeoff verifies the flip side: plain counters give
+// strictly more coverage (they saturate faster). FPC trades coverage
+// for accuracy.
+func TestFPCCoverageTradeoff(t *testing.T) {
+	plain := FPCVector{1, 1, 1, 1, 1, 1, 1}
+	paper := DefaultFPCVector()
+	mPlain := meterWith(t, plain, "gzip", 80_000)
+	mPaper := meterWith(t, paper, "gzip", 80_000)
+	if mPlain.Coverage() <= mPaper.Coverage() {
+		t.Errorf("plain counters must cover more: %.3f vs %.3f",
+			mPlain.Coverage(), mPaper.Coverage())
+	}
+}

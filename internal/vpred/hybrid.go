@@ -1,0 +1,115 @@
+package vpred
+
+// Hybrid is the VTAGE-2DStride hybrid the paper evaluates everywhere
+// (Table 2): VTAGE covers context-predictable values, the 2-delta
+// stride predictor covers computational sequences VTAGE cannot learn
+// (long arithmetic progressions). Arbitration: when a tagged VTAGE
+// component provides a confident prediction it wins (context evidence
+// is specific); otherwise a confident stride prediction is used; a
+// confident VTAGE *base* prediction is the last resort. Both halves
+// train on every eligible µ-op.
+//
+// Lookup/Train calls must be strictly paired per µ-op (the pipeline
+// and Meter guarantee this); the hybrid stashes its children's
+// predictions between the two calls.
+type Hybrid struct {
+	vtage  *VTAGE
+	stride *TwoDeltaStride
+
+	pendingV Prediction
+	pendingS Prediction
+
+	// ChoseVTAGE / ChoseStride count arbitration outcomes among used
+	// predictions, for reporting.
+	ChoseVTAGE  uint64
+	ChoseStride uint64
+}
+
+// NewHybrid builds the Table 2 hybrid: a default VTAGE plus an
+// 8192-entry 2-delta stride predictor sharing the FPC vector.
+func NewHybrid() *Hybrid {
+	return &Hybrid{
+		vtage:  NewVTAGE(DefaultVTAGEConfig()),
+		stride: NewTwoDeltaStride(13, DefaultFPCVector()),
+	}
+}
+
+// NewHybridFrom assembles a hybrid from explicit components (used by
+// ablation benches with alternative sizings).
+func NewHybridFrom(v *VTAGE, s *TwoDeltaStride) *Hybrid {
+	return &Hybrid{vtage: v, stride: s}
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return "VTAGE-2DStride" }
+
+// StorageBits implements Predictor.
+func (h *Hybrid) StorageBits() int { return h.vtage.StorageBits() + h.stride.StorageBits() }
+
+// PushBranch implements Predictor.
+func (h *Hybrid) PushBranch(taken bool) { h.vtage.PushBranch(taken) }
+
+// Lookup implements Predictor.
+func (h *Hybrid) Lookup(pc uint64) Prediction {
+	pv := h.vtage.Lookup(pc)
+	ps := h.stride.Lookup(pc)
+	h.pendingV, h.pendingS = pv, ps
+
+	out := Prediction{Hit: pv.Hit || ps.Hit}
+	switch {
+	case pv.Use && pv.meta.comp >= 0:
+		out.Value, out.Use = pv.Value, true
+		h.ChoseVTAGE++
+	case ps.Use:
+		out.Value, out.Use = ps.Value, true
+		h.ChoseStride++
+	case pv.Use:
+		out.Value, out.Use = pv.Value, true
+		h.ChoseVTAGE++
+	case ps.Hit:
+		out.Value = ps.Value
+	default:
+		out.Value = pv.Value
+	}
+	return out
+}
+
+// Train implements Predictor.
+func (h *Hybrid) Train(pc uint64, _ Prediction, actual uint64) {
+	h.vtage.Train(pc, h.pendingV, actual)
+	h.stride.Train(pc, h.pendingS, actual)
+}
+
+// VTAGEPart exposes the context half (for reporting).
+func (h *Hybrid) VTAGEPart() *VTAGE { return h.vtage }
+
+// StridePart exposes the computational half (for reporting).
+func (h *Hybrid) StridePart() *TwoDeltaStride { return h.stride }
+
+// NewByName constructs any predictor in the family by its report name.
+// Recognized: "LastValue", "Stride", "2D-Stride", "FCM", "VTAGE",
+// "VTAGE-2DStride". Used by the ablation benches and cmd/experiments.
+func NewByName(name string) (Predictor, bool) {
+	switch name {
+	case "LastValue":
+		return NewLastValue(13, DefaultFPCVector()), true
+	case "Stride":
+		return NewStride(13, DefaultFPCVector()), true
+	case "2D-Stride":
+		return NewTwoDeltaStride(13, DefaultFPCVector()), true
+	case "FCM":
+		return NewFCM(4, 13, 14, DefaultFPCVector()), true
+	case "VTAGE":
+		return NewVTAGE(DefaultVTAGEConfig()), true
+	case "D-VTAGE":
+		return NewDVTAGE(DefaultVTAGEConfig(), 16), true
+	case "VTAGE-2DStride":
+		return NewHybrid(), true
+	}
+	return nil, false
+}
+
+// FamilyNames lists the constructible predictor names in report order.
+func FamilyNames() []string {
+	return []string{"LastValue", "Stride", "2D-Stride", "FCM", "VTAGE", "D-VTAGE", "VTAGE-2DStride"}
+}

@@ -1,0 +1,362 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+func TestFPCVectorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short FPC vector")
+		}
+	}()
+	NewFPC(FPCVector{1, 2})
+}
+
+func TestFPCResetOnWrong(t *testing.T) {
+	f := NewFPC(DefaultFPCVector())
+	var conf uint8
+	for i := 0; i < 100000 && conf < Saturation; i++ {
+		f.Bump(&conf, true)
+	}
+	if conf != Saturation {
+		t.Fatal("counter never saturated under all-correct stream")
+	}
+	f.Bump(&conf, false)
+	if conf != 0 {
+		t.Fatalf("conf after wrong = %d, want 0", conf)
+	}
+}
+
+func TestFPCSaturationIsSlow(t *testing.T) {
+	// Expected transitions: 1 + 4*32 + 2*64 = 257. A counter must
+	// essentially never saturate within 40 correct predictions: run
+	// many independent trials and require a tiny saturation rate.
+	f := NewFPC(DefaultFPCVector())
+	sat := 0
+	const trials = 2000
+	for tr := 0; tr < trials; tr++ {
+		var conf uint8
+		for i := 0; i < 40; i++ {
+			f.Bump(&conf, true)
+		}
+		if conf >= Saturation {
+			sat++
+		}
+	}
+	if rate := float64(sat) / trials; rate > 0.02 {
+		t.Fatalf("saturation rate within 40 correct = %.3f, want <= 0.02", rate)
+	}
+}
+
+func TestFPCFirstTransitionImmediate(t *testing.T) {
+	f := NewFPC(DefaultFPCVector())
+	var conf uint8
+	f.Bump(&conf, true)
+	if conf != 1 {
+		t.Fatalf("first transition has probability 1, conf = %d", conf)
+	}
+}
+
+// trainLoop runs n Lookup/Train pairs feeding values from gen and
+// returns how many of the last tail predictions were used and correct.
+func trainLoop(p Predictor, pc uint64, n, tail int, gen func(i int) uint64) (used, usedCorrect int) {
+	for i := 0; i < n; i++ {
+		v := gen(i)
+		pred := p.Lookup(pc)
+		if i >= n-tail && pred.Use {
+			used++
+			if pred.Value == v {
+				usedCorrect++
+			}
+		}
+		p.Train(pc, pred, v)
+	}
+	return used, usedCorrect
+}
+
+func TestLastValueLearnsConstant(t *testing.T) {
+	p := NewLastValue(10, DefaultFPCVector())
+	used, correct := trainLoop(p, 0x400000, 2000, 1000, func(i int) uint64 { return 42 })
+	if used < 900 || correct != used {
+		t.Fatalf("constant: used=%d correct=%d of 1000, want nearly all", used, correct)
+	}
+}
+
+func TestLastValueRejectsChangingValues(t *testing.T) {
+	p := NewLastValue(10, DefaultFPCVector())
+	used, _ := trainLoop(p, 0x400000, 4000, 2000, func(i int) uint64 { return uint64(i) })
+	if used != 0 {
+		t.Fatalf("LVP used %d predictions on a pure stride stream, want 0", used)
+	}
+}
+
+func TestStrideLearnsProgression(t *testing.T) {
+	p := NewStride(10, DefaultFPCVector())
+	used, correct := trainLoop(p, 0x400000, 2000, 1000, func(i int) uint64 { return uint64(i * 7) })
+	if used < 900 || correct != used {
+		t.Fatalf("stride-7: used=%d correct=%d of 1000", used, correct)
+	}
+}
+
+func TestTwoDeltaAbsorbsOneOffBreak(t *testing.T) {
+	// A progression with a single discontinuity: plain stride updates
+	// its stride immediately (two mispredicts), 2-delta keeps s2 and
+	// mispredicts once. Verify 2-delta recovers confidence faster.
+	gen := func(i int) uint64 {
+		if i < 1000 {
+			return uint64(i * 4)
+		}
+		return uint64(1_000_000 + i*4) // same stride, one jump
+	}
+	p2 := NewTwoDeltaStride(10, DefaultFPCVector())
+	used2, correct2 := trainLoop(p2, 0x400000, 2000, 900, gen)
+	if used2 < 800 || correct2 != used2 {
+		t.Fatalf("2-delta after break: used=%d correct=%d of 900", used2, correct2)
+	}
+}
+
+func TestTwoDeltaIgnoresAlternatingNoise(t *testing.T) {
+	// Deltas alternate +8, +8, +8, -100, ... every 4th: s2 stays at 8
+	// only if the -100 delta never repeats twice; accuracy of *used*
+	// predictions must stay perfect even though coverage drops.
+	gen := func(i int) uint64 {
+		base := uint64(i * 8)
+		if i%4 == 3 {
+			return base - 100
+		}
+		return base
+	}
+	p := NewTwoDeltaStride(10, DefaultFPCVector())
+	used, correct := trainLoop(p, 0x400000, 4000, 2000, gen)
+	if used != correct {
+		t.Fatalf("2-delta used wrong predictions: used=%d correct=%d", used, correct)
+	}
+}
+
+func TestFCMLearnsRepeatingSequence(t *testing.T) {
+	seq := []uint64{11, 5, 29, 3}
+	p := NewFCM(4, 10, 12, DefaultFPCVector())
+	used, correct := trainLoop(p, 0x400000, 6000, 2000, func(i int) uint64 { return seq[i%len(seq)] })
+	if used < 1800 || correct != used {
+		t.Fatalf("FCM period-4: used=%d correct=%d of 2000", used, correct)
+	}
+}
+
+func TestVTAGELearnsConstantViaBase(t *testing.T) {
+	p := NewVTAGE(DefaultVTAGEConfig())
+	used, correct := trainLoop(p, 0x400000, 2000, 1000, func(i int) uint64 { return 123456 })
+	if used < 900 || correct != used {
+		t.Fatalf("VTAGE constant: used=%d correct=%d of 1000", used, correct)
+	}
+}
+
+func TestVTAGELearnsBranchCorrelatedValues(t *testing.T) {
+	// Value depends on the direction of the preceding branch: a
+	// context-based predictor learns this; stride predictors cannot.
+	v := NewVTAGE(DefaultVTAGEConfig())
+	s := NewTwoDeltaStride(10, DefaultFPCVector())
+	pc := uint64(0x400100)
+	rng := uint64(99)
+	var vUsed, vCorrect, sUsed int
+	const n, tail = 20000, 5000
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		taken := rng&0x8000 != 0
+		v.PushBranch(taken)
+		s.PushBranch(taken)
+		var val uint64 = 777
+		if taken {
+			val = 111
+		}
+		pv := v.Lookup(pc)
+		ps := s.Lookup(pc)
+		if i >= n-tail {
+			if pv.Use {
+				vUsed++
+				if pv.Value == val {
+					vCorrect++
+				}
+			}
+			if ps.Use {
+				sUsed++
+			}
+		}
+		v.Train(pc, pv, val)
+		s.Train(pc, ps, val)
+	}
+	if vUsed < tail/2 {
+		t.Fatalf("VTAGE used only %d/%d on branch-correlated values", vUsed, tail)
+	}
+	if vCorrect != vUsed {
+		t.Fatalf("VTAGE used wrong predictions: %d/%d", vCorrect, vUsed)
+	}
+	if sUsed > tail/20 {
+		t.Fatalf("stride should not cover branch-correlated values, used %d", sUsed)
+	}
+}
+
+func TestHybridCoversBothFamilies(t *testing.T) {
+	h := NewHybrid()
+	// Stream A at pcA: arithmetic progression (stride family).
+	// Stream B at pcB: branch-correlated constants (context family).
+	pcA, pcB := uint64(0x400000), uint64(0x400200)
+	rng := uint64(7)
+	const n, tail = 20000, 4000
+	var aUsed, aCorrect, bUsed, bCorrect int
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		taken := rng&0x4000 != 0
+		h.PushBranch(taken)
+		valA := uint64(i * 16)
+		valB := uint64(500)
+		if taken {
+			valB = 900
+		}
+		pa := h.Lookup(pcA)
+		if i >= n-tail && pa.Use {
+			aUsed++
+			if pa.Value == valA {
+				aCorrect++
+			}
+		}
+		h.Train(pcA, pa, valA)
+		pb := h.Lookup(pcB)
+		if i >= n-tail && pb.Use {
+			bUsed++
+			if pb.Value == valB {
+				bCorrect++
+			}
+		}
+		h.Train(pcB, pb, valB)
+	}
+	if aUsed < tail*8/10 || aCorrect != aUsed {
+		t.Fatalf("hybrid stride stream: used=%d correct=%d of %d", aUsed, aCorrect, tail)
+	}
+	if bUsed < tail/2 || bCorrect != bUsed {
+		t.Fatalf("hybrid context stream: used=%d correct=%d of %d", bUsed, bCorrect, tail)
+	}
+	if h.ChoseVTAGE == 0 || h.ChoseStride == 0 {
+		t.Fatalf("arbitration never exercised both sides: vtage=%d stride=%d",
+			h.ChoseVTAGE, h.ChoseStride)
+	}
+}
+
+func TestStorageBudgetsMatchTable2Scale(t *testing.T) {
+	// Table 2: 2D-Stride 251.9KB, VTAGE 64.1KB (+68.6KB base). Our
+	// accounting stores full 64-bit values everywhere, so VTAGE lands
+	// around 130KB; require the same order of magnitude and the same
+	// ordering as the paper.
+	s := NewTwoDeltaStride(13, DefaultFPCVector())
+	v := NewVTAGE(DefaultVTAGEConfig())
+	sKB := float64(s.StorageBits()) / 8192
+	vKB := float64(v.StorageBits()) / 8192
+	if sKB < 150 || sKB > 350 {
+		t.Errorf("2D-stride storage = %.1fKB, want ~250KB", sKB)
+	}
+	if vKB < 60 || vKB > 180 {
+		t.Errorf("VTAGE storage = %.1fKB, want ~130KB", vKB)
+	}
+	if vKB >= sKB {
+		t.Errorf("VTAGE (%.1fKB) must be smaller than 2D-stride (%.1fKB)", vKB, sKB)
+	}
+}
+
+func TestNewByNameCoversFamily(t *testing.T) {
+	for _, name := range FamilyNames() {
+		p, ok := NewByName(name)
+		if !ok {
+			t.Fatalf("NewByName(%q) failed", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewByName(%q).Name() = %q", name, p.Name())
+		}
+		if p.StorageBits() <= 0 {
+			t.Fatalf("%s: no storage accounting", name)
+		}
+	}
+	if _, ok := NewByName("bogus"); ok {
+		t.Fatal("NewByName must reject unknown names")
+	}
+}
+
+// runHybridOnWorkload measures hybrid coverage/accuracy on a workload.
+func runHybridOnWorkload(t *testing.T, name string, n uint64) *Meter {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.NewMachine()
+	meter := &Meter{P: NewHybrid()}
+	m.Run(n, func(u *prog.MicroOp) bool {
+		if u.IsBranch() {
+			if u.Op.Class().IsCondBranch() {
+				meter.P.PushBranch(u.Taken)
+			} else {
+				meter.P.PushBranch(true)
+			}
+			return true
+		}
+		if u.VPEligible() {
+			meter.Observe(u.PC, u.Value)
+		}
+		return true
+	})
+	return meter
+}
+
+func TestHybridAccuracyIsVeryHighEverywhere(t *testing.T) {
+	// The paper's central enabling claim: with FPC, every predictor
+	// reaches very high accuracy (≥ ~99.5%) on used predictions, at
+	// some cost in coverage. Verify on a spread of workloads.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"art", "applu", "vortex", "hmmer", "mcf", "gzip", "namd"} {
+		meter := runHybridOnWorkload(t, name, 150_000)
+		if acc := meter.Accuracy(); acc < 0.995 {
+			t.Errorf("%s: used-prediction accuracy = %.4f, want >= 0.995", name, acc)
+		}
+	}
+}
+
+func TestHybridCoverageOrdering(t *testing.T) {
+	// Stride-friendly FP codes must show much higher coverage than the
+	// data-dependent DP of hmmer (the paper: hmmer "exhibits a
+	// relatively low coverage").
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	covArt := runHybridOnWorkload(t, "art", 150_000).Coverage()
+	covNamd := runHybridOnWorkload(t, "namd", 150_000).Coverage()
+	covHmmer := runHybridOnWorkload(t, "hmmer", 150_000).Coverage()
+	if covArt < 0.3 {
+		t.Errorf("art coverage = %.3f, want >= 0.3", covArt)
+	}
+	if covNamd < 0.4 {
+		t.Errorf("namd coverage = %.3f, want >= 0.4", covNamd)
+	}
+	if covHmmer > covNamd/2 {
+		t.Errorf("hmmer coverage (%.3f) should be well below namd (%.3f)", covHmmer, covNamd)
+	}
+}
+
+func TestMeterAccountingInvariants(t *testing.T) {
+	f := func(vals []uint16) bool {
+		meter := &Meter{P: NewLastValue(8, DefaultFPCVector())}
+		for _, v := range vals {
+			meter.Observe(0x400000, uint64(v%4)) // small alphabet: some hits
+		}
+		return meter.Used == meter.UsedRight+meter.UsedWrong &&
+			meter.Used <= meter.Eligible &&
+			meter.Eligible == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

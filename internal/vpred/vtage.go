@@ -1,0 +1,220 @@
+package vpred
+
+import "eole/internal/bpred"
+
+// VTAGEConfig sizes the VTAGE predictor. Defaults reproduce Table 2:
+// an 8192-entry tagless base plus 6 × 1024-entry tagged components
+// with 12+rank tags, indexed with geometric global branch history
+// lengths.
+type VTAGEConfig struct {
+	BaseBits    int // log2 base entries
+	NumTagged   int
+	TaggedBits  int // log2 entries per tagged component
+	TagWidth    int // base tag width; component r uses TagWidth+r bits
+	MinHist     int
+	MaxHist     int
+	UResetEvery uint64
+	FPC         FPCVector
+}
+
+// DefaultVTAGEConfig returns the Table 2 layout (64.1KB in the paper's
+// accounting).
+func DefaultVTAGEConfig() VTAGEConfig {
+	return VTAGEConfig{
+		BaseBits:    13,
+		NumTagged:   6,
+		TaggedBits:  10,
+		TagWidth:    12,
+		MinHist:     2,
+		MaxHist:     64,
+		UResetEvery: 1 << 19,
+		FPC:         DefaultFPCVector(),
+	}
+}
+
+type vtageBaseEntry struct {
+	value uint64
+	conf  uint8
+}
+
+type vtageEntry struct {
+	tag   uint32
+	value uint64
+	conf  uint8
+	u     uint8 // 1-bit useful
+}
+
+// VTAGE is the context-based value predictor of Perais & Seznec
+// (HPCA 2014). Like the ITTAGE indirect branch predictor it selects
+// predictions with the global branch history, so — unlike stride
+// predictors — it does not need the previous value of the instruction
+// to predict the current one and needs no in-flight speculative state.
+type VTAGE struct {
+	cfg  VTAGEConfig
+	base []vtageBaseEntry
+	comp [][]vtageEntry
+	fpc  *FPC
+
+	hist *bpred.GlobalHistory
+	fIdx []*bpred.FoldedHistory
+	fTag []*bpred.FoldedHistory
+	fTg2 []*bpred.FoldedHistory
+	lens []int
+
+	trains uint64
+}
+
+// NewVTAGE builds a VTAGE predictor from cfg.
+func NewVTAGE(cfg VTAGEConfig) *VTAGE {
+	v := &VTAGE{
+		cfg:  cfg,
+		base: make([]vtageBaseEntry, 1<<cfg.BaseBits),
+		fpc:  NewFPC(cfg.FPC),
+		hist: bpred.NewGlobalHistory(cfg.MaxHist + 16),
+		lens: bpred.GeometricLengths(cfg.MinHist, cfg.MaxHist, cfg.NumTagged),
+	}
+	for i := 0; i < cfg.NumTagged; i++ {
+		v.comp = append(v.comp, make([]vtageEntry, 1<<cfg.TaggedBits))
+		v.fIdx = append(v.fIdx, bpred.NewFoldedHistory(v.lens[i], cfg.TaggedBits))
+		v.fTag = append(v.fTag, bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth))
+		v.fTg2 = append(v.fTg2, bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth-1))
+	}
+	return v
+}
+
+// Name implements Predictor.
+func (v *VTAGE) Name() string { return "VTAGE" }
+
+// StorageBits implements Predictor, following Table 2's accounting
+// (base entries carry value+conf; tagged entries add 12+rank tags and
+// a useful bit).
+func (v *VTAGE) StorageBits() int {
+	bits := len(v.base) * (64 + 3)
+	for r := range v.comp {
+		bits += len(v.comp[r]) * (64 + 3 + 1 + v.cfg.TagWidth + (r + 1))
+	}
+	return bits
+}
+
+// PushBranch implements Predictor: VTAGE consumes the global
+// conditional-branch direction history.
+func (v *VTAGE) PushBranch(taken bool) {
+	v.hist.Push(taken)
+	for i := range v.comp {
+		v.fIdx[i].Update(v.hist)
+		v.fTag[i].Update(v.hist)
+		v.fTg2[i].Update(v.hist)
+	}
+}
+
+func (v *VTAGE) index(pc uint64, comp int) uint32 {
+	mask := uint32(1<<v.cfg.TaggedBits) - 1
+	h := uint32(pc>>2) ^ uint32(pc>>(2+uint(v.cfg.TaggedBits))) ^ v.fIdx[comp].Value() ^ uint32(comp*0x1F)
+	return h & mask
+}
+
+func (v *VTAGE) tag(pc uint64, comp int) uint32 {
+	width := v.cfg.TagWidth + comp + 1 // "12 + rank" per Table 2
+	if width > 30 {
+		width = 30
+	}
+	mask := uint32(1<<width) - 1
+	return (uint32(pc>>2) ^ v.fTag[comp].Value() ^ (v.fTg2[comp].Value() << 1) ^ uint32(pc>>17)) & mask
+}
+
+// Lookup implements Predictor.
+func (v *VTAGE) Lookup(pc uint64) Prediction {
+	p := Prediction{meta: predMeta{comp: -1}}
+	for i := 0; i < v.cfg.NumTagged; i++ {
+		p.meta.indices[i] = v.index(pc, i)
+		p.meta.tags[i] = v.tag(pc, i)
+	}
+	for i := v.cfg.NumTagged - 1; i >= 0; i-- {
+		e := &v.comp[i][p.meta.indices[i]]
+		if e.tag == p.meta.tags[i] {
+			p.meta.comp = i
+			p.meta.index = p.meta.indices[i]
+			p.Hit = true
+			p.Value = e.value
+			p.Use = Confident(e.conf)
+			return p
+		}
+	}
+	// Base component: tagless last-value table.
+	bIx := tableIndex(pc, v.cfg.BaseBits)
+	p.meta.index = bIx
+	e := &v.base[bIx]
+	p.Hit = true
+	p.Value = e.value
+	p.Use = Confident(e.conf)
+	return p
+}
+
+// Train implements Predictor.
+func (v *VTAGE) Train(pc uint64, p Prediction, actual uint64) {
+	v.trains++
+	if v.cfg.UResetEvery > 0 && v.trains%v.cfg.UResetEvery == 0 {
+		v.clearUseful()
+	}
+
+	correct := p.Value == actual
+	if p.meta.comp >= 0 {
+		e := &v.comp[p.meta.comp][p.meta.index]
+		if correct {
+			v.fpc.Bump(&e.conf, true)
+			e.u = 1
+		} else {
+			if e.conf == 0 {
+				// Unconfident and wrong: replace the value in place.
+				e.value = actual
+				e.u = 0
+			}
+			e.conf = 0
+		}
+	} else {
+		e := &v.base[p.meta.index]
+		if correct {
+			v.fpc.Bump(&e.conf, true)
+		} else {
+			if e.conf == 0 {
+				e.value = actual
+			}
+			e.conf = 0
+		}
+	}
+
+	// Allocate a longer-history entry on a misprediction, as in
+	// (I)TAGE: claim one not-useful victim, otherwise decay.
+	if !correct {
+		v.allocate(p, actual)
+	}
+}
+
+func (v *VTAGE) allocate(p Prediction, actual uint64) {
+	start := p.meta.comp + 1
+	for i := start; i < v.cfg.NumTagged; i++ {
+		e := &v.comp[i][p.meta.indices[i]]
+		if e.u == 0 {
+			*e = vtageEntry{tag: p.meta.tags[i], value: actual}
+			return
+		}
+	}
+	for i := start; i < v.cfg.NumTagged; i++ {
+		v.comp[i][p.meta.indices[i]].u = 0
+	}
+}
+
+func (v *VTAGE) clearUseful() {
+	for _, c := range v.comp {
+		for i := range c {
+			c[i].u = 0
+		}
+	}
+}
+
+// HistoryLengths returns the geometric branch-history lengths in use.
+func (v *VTAGE) HistoryLengths() []int {
+	out := make([]int, len(v.lens))
+	copy(out, v.lens)
+	return out
+}

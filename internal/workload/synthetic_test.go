@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"eole/internal/isa"
+	"eole/internal/prog"
+)
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []SyntheticSpec{
+		{Name: "x", Chains: 0},
+		{Name: "x", Chains: 9},
+		{Name: "x", Chains: 4, PredictableChains: 5},
+		{Name: "x", Chains: 4, BranchTakenPermil: 1001},
+		{Name: "x", Chains: 4, LoadsPerIter: 5},
+	}
+	for i, s := range bad {
+		if _, err := Synthetic(s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestSyntheticRunsForever(t *testing.T) {
+	w := MustSynthetic(SyntheticSpec{
+		Name: "smoke", Chains: 4, PredictableChains: 2,
+		BranchTakenPermil: 500, LoadsPerIter: 2, FootprintWords: 1024,
+	})
+	m := w.NewMachine()
+	if n := m.Run(20_000, nil); n != 20_000 || m.Halted() {
+		t.Fatalf("ran %d µ-ops, halted=%v", n, m.Halted())
+	}
+}
+
+func takenRate(w Workload, n uint64) float64 {
+	m := w.NewMachine()
+	var taken, total float64
+	m.Run(n, func(u *prog.MicroOp) bool {
+		if u.Op.Class().IsCondBranch() {
+			total++
+			if u.Taken {
+				taken++
+			}
+		}
+		return true
+	})
+	if total == 0 {
+		return -1
+	}
+	return taken / total
+}
+
+func TestSyntheticBranchBiasRealized(t *testing.T) {
+	for _, tc := range []struct {
+		permil int
+		lo, hi float64
+	}{
+		{0, 0.0, 0.02},
+		{500, 0.45, 0.55},
+		{900, 0.85, 0.95},
+		{1000, 0.98, 1.0},
+	} {
+		w := MustSynthetic(SyntheticSpec{
+			Name: "bias", Chains: 2, BranchTakenPermil: tc.permil,
+			FootprintWords: 512, Seed: 7,
+		})
+		r := takenRate(w, 50_000)
+		if r < tc.lo || r > tc.hi {
+			t.Errorf("permil=%d: taken rate %.3f outside [%.2f,%.2f]", tc.permil, r, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestSyntheticChainPredictability(t *testing.T) {
+	// All-predictable chains must produce striding values; all-
+	// scrambled chains must not.
+	strideLike := func(pred int) float64 {
+		w := MustSynthetic(SyntheticSpec{
+			Name: "p", Chains: 4, PredictableChains: pred,
+			BranchTakenPermil: 1000, FootprintWords: 512, Seed: 3,
+		})
+		m := w.NewMachine()
+		last := map[uint64]uint64{}
+		delta := map[uint64]int64{}
+		var stable, total float64
+		m.Run(30_000, func(u *prog.MicroOp) bool {
+			if u.Op == isa.OpAddi || u.Op == isa.OpXor {
+				if u.Dst >= isa.IntReg(8) && u.Dst < isa.IntReg(16) {
+					if l, ok := last[u.PC]; ok {
+						d := int64(u.Value - l)
+						if prev, ok2 := delta[u.PC]; ok2 {
+							total++
+							if prev == d {
+								stable++
+							}
+						}
+						delta[u.PC] = d
+					}
+					last[u.PC] = u.Value
+				}
+			}
+			return true
+		})
+		return stable / total
+	}
+	if r := strideLike(4); r < 0.9 {
+		t.Errorf("fully predictable chains: stable-delta rate %.2f, want >= 0.9", r)
+	}
+	if r := strideLike(0); r > 0.2 {
+		t.Errorf("scrambled chains: stable-delta rate %.2f, want <= 0.2", r)
+	}
+}
+
+func TestSyntheticFootprintRealized(t *testing.T) {
+	w := MustSynthetic(SyntheticSpec{
+		Name: "foot", Chains: 2, LoadsPerIter: 2,
+		BranchTakenPermil: 1000, FootprintWords: 1 << 20, Seed: 5,
+	})
+	m := w.NewMachine()
+	pages := map[uint64]bool{}
+	m.Run(200_000, func(u *prog.MicroOp) bool {
+		if u.Op == isa.OpLd {
+			pages[u.Addr>>12] = true
+		}
+		return true
+	})
+	// Striding over 8MB: many pages touched.
+	if len(pages) < 100 {
+		t.Fatalf("touched %d pages, want >= 100", len(pages))
+	}
+}
+
+func TestSweepsProduceDistinctWorkloads(t *testing.T) {
+	for _, sweep := range [][]Workload{PredictabilitySweep(), BranchBiasSweep(), FootprintSweep()} {
+		seen := map[string]bool{}
+		for _, w := range sweep {
+			if seen[w.Name] {
+				t.Errorf("duplicate sweep point %s", w.Name)
+			}
+			seen[w.Name] = true
+			m := w.NewMachine()
+			if n := m.Run(2_000, nil); n != 2_000 {
+				t.Errorf("%s does not run", w.Name)
+			}
+		}
+	}
+}
+
+func TestSyntheticNotRegistered(t *testing.T) {
+	// Synthetic workloads must not pollute the Table 3 suite.
+	if len(All()) != 19 {
+		t.Fatalf("registry has %d entries, want 19", len(All()))
+	}
+}
