@@ -33,7 +33,10 @@ func reportGeomeans(b *testing.B, t *stats.Table) {
 
 func BenchmarkTable3_BaselineIPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Table3(benchOpts())
+		t, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		ipc, _ := t.ColumnByName("IPC")
 		b.ReportMetric(stats.Geomean(ipc), "ipc_gm")
 	}
@@ -41,7 +44,10 @@ func BenchmarkTable3_BaselineIPC(b *testing.B) {
 
 func BenchmarkFigure2_EarlyExecutable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Figure2(benchOpts())
+		t, err := experiments.Figure2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		one, _ := t.ColumnByName("1_ALU_stage")
 		two, _ := t.ColumnByName("2_ALU_stages")
 		b.ReportMetric(mean(one), "ee1_mean")
@@ -51,7 +57,10 @@ func BenchmarkFigure2_EarlyExecutable(b *testing.B) {
 
 func BenchmarkFigure4_LateExecutable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Figure4(benchOpts())
+		t, err := experiments.Figure4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		tot, _ := t.ColumnByName("total")
 		b.ReportMetric(mean(tot), "le_mean")
 		b.ReportMetric(stats.Max(tot), "le_max")
@@ -60,43 +69,71 @@ func BenchmarkFigure4_LateExecutable(b *testing.B) {
 
 func BenchmarkFigure6_ValuePredictionSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure6(benchOpts()))
+		t, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure7_IssueWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure7(benchOpts()))
+		t, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure8_IQSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure8(benchOpts()))
+		t, err := experiments.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure10_PRFBanks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure10(benchOpts()))
+		t, err := experiments.Figure10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure11_LEVTPorts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure11(benchOpts()))
+		t, err := experiments.Figure11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure12_Headline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure12(benchOpts()))
+		t, err := experiments.Figure12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
 func BenchmarkFigure13_OLE_EOE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportGeomeans(b, experiments.Figure13(benchOpts()))
+		t, err := experiments.Figure13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomeans(b, t)
 	}
 }
 
@@ -177,7 +214,10 @@ func BenchmarkAblationEEDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts()
 		o.Workloads = []string{"namd", "crafty", "art", "gzip", "sjeng"}
-		t := experiments.Figure2(o)
+		t, err := experiments.Figure2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
 		one, _ := t.ColumnByName("1_ALU_stage")
 		two, _ := t.ColumnByName("2_ALU_stages")
 		b.ReportMetric(mean(two)-mean(one), "ee_gain_frac")

@@ -1,0 +1,90 @@
+// Command eoled serves the EOLE simulator over HTTP as a batch
+// simulation service: requests share one worker pool and one
+// content-addressed result cache, so identical (config, workload,
+// warmup, measure) asks — from one client or many — simulate once.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/simulate   {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
+//	POST /v1/sweep      {"configs":[...],"workloads":[...],"warmup":...,"measure":...}
+//	GET  /v1/configs    named machine configurations
+//	GET  /v1/workloads  the 19 benchmarks
+//	GET  /v1/stats      service counters (sims run, cache hits, µ-ops/s)
+//
+// Example:
+//
+//	eoled -addr :8080 -cache-dir /var/cache/eole &
+//	curl -s localhost:8080/v1/simulate -d '{"config":"EOLE_4_64","workload":"namd"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eole/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "spill simulation results to this directory")
+		cacheN   = flag.Int("cache-entries", 0, "in-memory result cache bound (0 = 16384, negative = unbounded)")
+		warmup   = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
+		measure  = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
+		maxUops  = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
+	)
+	flag.Parse()
+
+	svc, err := simsvc.New(simsvc.Options{Parallelism: *par, CacheDir: *cacheDir, CacheEntries: *cacheN})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eoled:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc, *warmup, *measure, *maxUops),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("eoled: listening on %s (parallelism %d)", *addr, svc.Parallelism())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("eoled: %v", err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling: a second SIGINT/SIGTERM kills
+	// the process instead of being swallowed while we drain.
+	stop()
+
+	log.Printf("eoled: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("eoled: shutdown grace period expired; abandoning open connections")
+		} else {
+			log.Printf("eoled: shutdown: %v", err)
+		}
+	}
+	// Simulations are not preemptible: Close returns once running ones
+	// finish (queued ones are abandoned), which can outlast the HTTP
+	// grace period for long requests.
+	log.Printf("eoled: waiting for running simulations")
+	svc.Close()
+}

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"eole"
+	"eole/internal/simsvc"
+)
+
+// maxBodyBytes caps request bodies; the largest legitimate sweep body
+// (every config and workload named in full) is well under 64KB.
+const maxBodyBytes = 1 << 20
+
+// maxSweepCells caps the (configs × workloads) grid of one sweep
+// request. The full named grid is 11×19 = 209 cells; the cap leaves
+// generous headroom while keeping one request from allocating an
+// unbounded response.
+const maxSweepCells = 4096
+
+// server wires the batch simulation service to the HTTP API. All
+// handlers speak JSON and rely only on net/http.
+type server struct {
+	svc *simsvc.Service
+
+	// Defaults applied when a request omits warmup/measure, and the
+	// per-request ceiling protecting the worker pool from unbounded
+	// simulations.
+	defaultWarmup  uint64
+	defaultMeasure uint64
+	maxUops        uint64
+}
+
+func newServer(svc *simsvc.Service, defaultWarmup, defaultMeasure, maxUops uint64) http.Handler {
+	s := &server{
+		svc:            svc,
+		defaultWarmup:  defaultWarmup,
+		defaultMeasure: defaultMeasure,
+		maxUops:        maxUops,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// simulateRequest is the wire form of one simulation ask. Config is a
+// named configuration; Warmup/Measure default to the server's run
+// lengths when zero.
+type simulateRequest struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Warmup   uint64 `json:"warmup,omitempty"`
+	Measure  uint64 `json:"measure,omitempty"`
+}
+
+// sweepRequest asks for the full (configs × workloads) grid. Empty
+// Configs or Workloads mean "all named ones".
+type sweepRequest struct {
+	Configs   []string `json:"configs"`
+	Workloads []string `json:"workloads"`
+	Warmup    uint64   `json:"warmup,omitempty"`
+	Measure   uint64   `json:"measure,omitempty"`
+}
+
+// sweepResult is one cell of the grid; exactly one of Report/Error is
+// set.
+type sweepResult struct {
+	Config   string       `json:"config"`
+	Workload string       `json:"workload"`
+	Cached   bool         `json:"cached"`
+	Report   *eole.Report `json:"report,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+type sweepResponse struct {
+	Results []sweepResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sreq, err := s.buildRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.svc.Submit(r.Context(), sreq)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	report, err := job.Wait(r.Context())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, relabel(report, sreq.Config.Name))
+}
+
+// relabel returns the report labeled with the requested config name.
+// Content-addressed caching ignores display names, so a request can be
+// satisfied by a simulation submitted under an identically-
+// parameterized config with a different name.
+func relabel(r *eole.Report, cfgName string) *eole.Report {
+	if r == nil || r.Config == cfgName {
+		return r
+	}
+	cp := *r
+	cp.Config = cfgName
+	return &cp
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Configs) == 0 {
+		req.Configs = eole.ConfigNames()
+	}
+	if len(req.Workloads) == 0 {
+		req.Workloads = eole.WorkloadNames()
+	}
+	if cells := len(req.Configs) * len(req.Workloads); cells > maxSweepCells {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep grid of %d cells exceeds limit %d", cells, maxSweepCells))
+		return
+	}
+	// Resolve names and run lengths once, then expand the grid.
+	cfgs := make([]eole.Config, len(req.Configs))
+	for i, name := range req.Configs {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfgs[i] = cfg
+	}
+	for _, wl := range req.Workloads {
+		if _, err := eole.WorkloadByName(wl); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	warmup, measure, err := s.runLengths(req.Warmup, req.Measure)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs := simsvc.Cross(cfgs, req.Workloads, warmup, measure)
+	sweep, err := s.svc.SubmitSweep(r.Context(), reqs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := sweepResponse{Results: make([]sweepResult, len(sweep.Jobs))}
+	for i, job := range sweep.Jobs {
+		report, err := job.Wait(r.Context())
+		res := sweepResult{
+			Config:   reqs[i].Config.Name,
+			Workload: reqs[i].Workload,
+			Cached:   job.Cached(),
+		}
+		if err != nil {
+			res.Error = err.Error()
+		} else {
+			res.Report = relabel(report, reqs[i].Config.Name)
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"configs": eole.ConfigNames()})
+}
+
+type workloadInfo struct {
+	Short       string  `json:"short"`
+	Name        string  `json:"name"`
+	PaperIPC    float64 `json:"paper_ipc"`
+	Description string  `json:"description"`
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	all := eole.Workloads()
+	infos := make([]workloadInfo, len(all))
+	for i, wl := range all {
+		infos[i] = workloadInfo{
+			Short:       wl.Short,
+			Name:        wl.Name,
+			PaperIPC:    wl.PaperIPC,
+			Description: wl.Description,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]workloadInfo{"workloads": infos})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// buildRequest resolves names, applies defaults and enforces the run
+// length ceiling.
+func (s *server) buildRequest(req simulateRequest) (simsvc.Request, error) {
+	cfg, err := eole.NamedConfig(req.Config)
+	if err != nil {
+		return simsvc.Request{}, err
+	}
+	if _, err := eole.WorkloadByName(req.Workload); err != nil {
+		return simsvc.Request{}, err
+	}
+	warmup, measure, err := s.runLengths(req.Warmup, req.Measure)
+	if err != nil {
+		return simsvc.Request{}, err
+	}
+	return simsvc.Request{Config: cfg, Workload: req.Workload, Warmup: warmup, Measure: measure}, nil
+}
+
+// runLengths applies the server defaults and the per-request ceiling.
+func (s *server) runLengths(warmup, measure uint64) (uint64, uint64, error) {
+	if warmup == 0 {
+		warmup = s.defaultWarmup
+	}
+	if measure == 0 {
+		measure = s.defaultMeasure
+	}
+	// Overflow-safe ceiling check: warmup+measure can wrap uint64.
+	if s.maxUops > 0 && (warmup > s.maxUops || measure > s.maxUops-warmup) {
+		return 0, 0, fmt.Errorf("run length %d+%d µ-ops exceeds server limit %d", warmup, measure, s.maxUops)
+	}
+	return warmup, measure, nil
+}
+
+// statusFor maps service errors to HTTP statuses: a closed service is
+// shutting down (503), a canceled request is the client's doing (499
+// has no stdlib constant; 400 serves), anything else is a simulation
+// failure (500).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, simsvc.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

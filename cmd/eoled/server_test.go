@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"eole"
+	"eole/internal/simsvc"
+)
+
+// newTestHandler spins up a service + handler with short default run
+// lengths so the suite stays fast.
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return newServer(svc, 2_000, 5_000, 1_000_000)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getJSON(t *testing.T, h http.Handler, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+	}
+	return rec
+}
+
+func TestSimulateRoundTrip(t *testing.T) {
+	h := newTestHandler(t)
+	rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: "EOLE_4_64", Workload: "namd"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var r eole.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Config != "EOLE_4_64" || r.Benchmark != "namd" {
+		t.Errorf("report identifies %s on %s", r.Config, r.Benchmark)
+	}
+	if r.IPC <= 0 || r.Cycles == 0 {
+		t.Errorf("degenerate report: IPC %v over %d cycles", r.IPC, r.Cycles)
+	}
+	if r.Raw().Committed == 0 {
+		t.Error("raw counters must survive the wire")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := newTestHandler(t)
+	for _, tc := range []struct {
+		name string
+		req  simulateRequest
+	}{
+		{"unknown config", simulateRequest{Config: "NoSuch", Workload: "namd"}},
+		{"unknown workload", simulateRequest{Config: "EOLE_4_64", Workload: "nope"}},
+		{"over limit", simulateRequest{Config: "EOLE_4_64", Workload: "namd", Measure: 2_000_000}},
+		{"uint64 overflow", simulateRequest{Config: "EOLE_4_64", Workload: "namd", Warmup: math.MaxUint64, Measure: 2}},
+	} {
+		rec := postJSON(t, h, "/v1/simulate", tc.req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body missing", tc.name)
+		}
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader([]byte("{")))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestConcurrentSweeps is the acceptance check: concurrent /v1/sweep
+// requests that share a baseline column all succeed with valid
+// reports, and the shared key simulates exactly once service-wide.
+func TestConcurrentSweeps(t *testing.T) {
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := newServer(svc, 2_000, 5_000, 1_000_000)
+
+	sweeps := []sweepRequest{
+		{Configs: []string{"Baseline_6_64", "EOLE_4_64"}, Workloads: []string{"gzip", "art"}},
+		{Configs: []string{"Baseline_6_64", "EOLE_6_64"}, Workloads: []string{"gzip", "art"}},
+		{Configs: []string{"Baseline_6_64"}, Workloads: []string{"gzip", "art", "crafty"}},
+	}
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, len(sweeps))
+	for i, sw := range sweeps {
+		wg.Add(1)
+		go func(i int, sw sweepRequest) {
+			defer wg.Done()
+			recs[i] = postJSON(t, h, "/v1/sweep", sw)
+		}(i, sw)
+	}
+	wg.Wait()
+
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("sweep %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var resp sweepResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		want := len(sweeps[i].Configs) * len(sweeps[i].Workloads)
+		if len(resp.Results) != want {
+			t.Fatalf("sweep %d: %d results, want %d", i, len(resp.Results), want)
+		}
+		for _, res := range resp.Results {
+			if res.Error != "" {
+				t.Errorf("sweep %d: %s on %s: %s", i, res.Config, res.Workload, res.Error)
+				continue
+			}
+			if res.Report == nil || res.Report.IPC <= 0 {
+				t.Errorf("sweep %d: %s on %s: invalid report", i, res.Config, res.Workload)
+			}
+		}
+	}
+
+	// 7 unique (config, workload) pairs across the three sweeps:
+	// Baseline×{gzip,art,crafty}, EOLE_4_64×{gzip,art}, EOLE_6_64×{gzip,art}.
+	if st := svc.Stats(); st.SimsRun != 7 {
+		t.Errorf("SimsRun = %d, want 7 (one per unique key across concurrent sweeps)", st.SimsRun)
+	}
+}
+
+func TestSweepPerJobErrors(t *testing.T) {
+	h := newTestHandler(t)
+	// An unknown config in a sweep fails the request up front (the
+	// grid cannot be built).
+	rec := postJSON(t, h, "/v1/sweep", sweepRequest{
+		Configs: []string{"NoSuch"}, Workloads: []string{"gzip"},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown config: status %d, want 400", rec.Code)
+	}
+}
+
+func TestSweepResourceLimits(t *testing.T) {
+	h := newTestHandler(t)
+	// A grid larger than maxSweepCells is rejected before any name
+	// resolution or job submission.
+	big := make([]string, maxSweepCells)
+	for i := range big {
+		big[i] = "EOLE_4_64"
+	}
+	rec := postJSON(t, h, "/v1/sweep", sweepRequest{Configs: big, Workloads: []string{"gzip", "art"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized grid: status %d, want 400", rec.Code)
+	}
+	// An oversized request body is rejected by MaxBytesReader.
+	body := bytes.Repeat([]byte("x"), maxBodyBytes+1)
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(body))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", rec2.Code)
+	}
+}
+
+func TestListingAndStats(t *testing.T) {
+	h := newTestHandler(t)
+
+	var cfgs struct {
+		Configs []string `json:"configs"`
+	}
+	if rec := getJSON(t, h, "/v1/configs", &cfgs); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/configs: %d", rec.Code)
+	}
+	if len(cfgs.Configs) == 0 {
+		t.Error("no configs listed")
+	}
+
+	var wls struct {
+		Workloads []workloadInfo `json:"workloads"`
+	}
+	if rec := getJSON(t, h, "/v1/workloads", &wls); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/workloads: %d", rec.Code)
+	}
+	if len(wls.Workloads) != 19 {
+		t.Errorf("%d workloads, want 19", len(wls.Workloads))
+	}
+
+	// Run one sim, then check the counters moved.
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: "EOLE_4_64", Workload: "gzip"}); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d", rec.Code)
+	}
+	var st simsvc.Stats
+	if rec := getJSON(t, h, "/v1/stats", &st); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/stats: %d", rec.Code)
+	}
+	if st.SimsRun != 1 || st.JobsSubmitted != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	h := newTestHandler(t)
+	// GET on a POST route and vice versa must 405, not panic.
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/simulate"},
+		{http.MethodPost, "/v1/configs"},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, rec.Code)
+		}
+	}
+}

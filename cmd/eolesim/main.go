@@ -4,11 +4,13 @@
 // Usage:
 //
 //	eolesim -config EOLE_4_64 -workload namd -warmup 50000 -n 200000
+//	eolesim -config EOLE_4_64 -workload namd -json
 //	eolesim -list
 //	eolesim -disasm mcf
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 50_000, "warm-up µ-ops before measurement")
 		n       = flag.Uint64("n", 200_000, "measured µ-ops")
 		list    = flag.Bool("list", false, "list configurations and workloads")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON (machine readable)")
 		disasm  = flag.String("disasm", "", "print the program of a workload and exit")
 		traceN  = flag.Uint64("trace", 0, "render a pipeline trace of N µ-ops after warm-up and exit")
 	)
@@ -84,6 +87,14 @@ func main() {
 	r, err := eole.Simulate(cfg, w, *warmup, *n)
 	if err != nil {
 		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fail(err)
+		}
+		return
 	}
 	fmt.Println(r)
 }

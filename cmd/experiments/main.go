@@ -9,24 +9,39 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"eole/internal/experiments"
+	"eole/internal/simsvc"
 )
 
 func main() {
 	var (
-		warmup  = flag.Uint64("warmup", 0, "warm-up µ-ops (default: harness default)")
-		measure = flag.Uint64("measure", 0, "measured µ-ops (default: harness default)")
-		wls     = flag.String("workloads", "", "comma-separated benchmark subset")
-		chart   = flag.Bool("chart", false, "render figures as ASCII bar charts")
+		warmup   = flag.Uint64("warmup", 0, "warm-up µ-ops (default: harness default)")
+		measure  = flag.Uint64("measure", 0, "measured µ-ops (default: harness default)")
+		wls      = flag.String("workloads", "", "comma-separated benchmark subset")
+		chart    = flag.Bool("chart", false, "render figures as ASCII bar charts")
+		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "spill simulation results to this directory (reused across runs)")
+		stats    = flag.Bool("stats", false, "print simulation-service statistics at exit")
 	)
 	flag.Parse()
 
+	// One shared service across every artefact: the baseline columns
+	// that figures re-run are simulated once and served from cache.
+	svc, err := simsvc.New(simsvc.Options{Parallelism: *par, CacheDir: *cacheDir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
 	opts := experiments.DefaultOpts()
+	opts.Service = svc
 	if *warmup > 0 {
 		opts.Warmup = *warmup
 	}
@@ -43,7 +58,9 @@ func main() {
 	}
 	for _, id := range ids {
 		if *chart {
-			if tb, err := experiments.TableByID(id, opts); err == nil {
+			tb, err := experiments.TableByID(id, opts)
+			switch {
+			case err == nil:
 				for _, col := range tb.Columns {
 					out, err := tb.RenderChart(col, 1.0, 60)
 					if err != nil {
@@ -53,8 +70,14 @@ func main() {
 					fmt.Println(out)
 				}
 				continue
+			case errors.Is(err, experiments.ErrNoTable):
+				// Fall through to text for text-only artefacts.
+			default:
+				// A real failure (bad workload, failed simulation):
+				// report it instead of re-running the sweep as text.
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
 			}
-			// Fall through to text for text-only artefacts.
 		}
 		a, err := experiments.ByID(id, opts)
 		if err != nil {
@@ -62,5 +85,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(a.Text)
+	}
+	if *stats {
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "simsvc: %d sims run, %d cache hits (%d from disk), %d coalesced, %.0f µ-ops/s/worker over %s\n",
+			st.SimsRun, st.CacheHits, st.DiskHits, st.Coalesced, st.UopsPerSec, st.SimWallTime.Round(1e6))
 	}
 }

@@ -30,6 +30,7 @@
 package eole
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -155,46 +156,74 @@ func frac(a, b uint64) float64 {
 	return float64(a) / float64(b)
 }
 
-// Report summarizes one simulation region.
+// Report summarizes one simulation region. It marshals to JSON
+// losslessly (including the raw counter set), so it can be cached on
+// disk or served over the wire and round-trip back to an identical
+// value.
 type Report struct {
-	Config    string
-	Benchmark string
+	Config    string `json:"config"`
+	Benchmark string `json:"benchmark"`
 
-	Cycles    uint64
-	Committed uint64
-	IPC       float64
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
 
 	// EOLE offload metrics (Figures 2 and 4).
-	EEFraction      float64
-	LEFraction      float64
-	LEBranchFrac    float64
-	OffloadFraction float64
+	EEFraction      float64 `json:"ee_fraction"`
+	LEFraction      float64 `json:"le_fraction"`
+	LEBranchFrac    float64 `json:"le_branch_fraction"`
+	OffloadFraction float64 `json:"offload_fraction"`
 
 	// Value prediction metrics.
-	VPCoverage    float64
-	VPSquashes    uint64
-	VPSquashPKI   float64
-	MemViolations uint64
+	VPCoverage    float64 `json:"vp_coverage"`
+	VPSquashes    uint64  `json:"vp_squashes"`
+	VPSquashPKI   float64 `json:"vp_squash_pki"`
+	MemViolations uint64  `json:"mem_violations"`
 
 	// Branch prediction metrics.
-	BranchMPKI       float64
-	HighConfBranches float64
-	HighConfMispRate float64
+	BranchMPKI       float64 `json:"branch_mpki"`
+	HighConfBranches float64 `json:"high_conf_branches"`
+	HighConfMispRate float64 `json:"high_conf_misp_rate"`
 
 	// Memory system metrics.
-	L1DMissRate float64
-	L2MissRate  float64
-	DRAMAvgLat  float64
+	L1DMissRate float64 `json:"l1d_miss_rate"`
+	L2MissRate  float64 `json:"l2_miss_rate"`
+	DRAMAvgLat  float64 `json:"dram_avg_latency"`
 
 	// Constraint stalls (Figures 10 and 11).
-	LEVTPortStalls   uint64
-	RenameBankStalls uint64
+	LEVTPortStalls   uint64 `json:"levt_port_stalls"`
+	RenameBankStalls uint64 `json:"rename_bank_stalls"`
 
 	raw core.Stats
 }
 
 // Raw returns the underlying counter set.
 func (r *Report) Raw() core.Stats { return r.raw }
+
+// MarshalJSON includes the raw counter set under "raw" so a decoded
+// Report preserves Raw().
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	return json.Marshal(struct {
+		alias
+		Raw core.Stats `json:"raw"`
+	}{alias(*r), r.raw})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	type alias Report
+	var aux struct {
+		alias
+		Raw core.Stats `json:"raw"`
+	}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	*r = Report(aux.alias)
+	r.raw = aux.Raw
+	return nil
+}
 
 // String renders a human-readable summary.
 func (r *Report) String() string {

@@ -1,0 +1,3 @@
+module eole
+
+go 1.24

@@ -7,13 +7,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"eole"
 	"eole/internal/complexity"
 	"eole/internal/config"
+	"eole/internal/simsvc"
 	"eole/internal/stats"
 	"eole/internal/vpred"
 )
@@ -28,7 +29,15 @@ type Opts struct {
 	// Workloads restricts the suite (nil = all 19).
 	Workloads []string
 	// Parallelism caps concurrent simulations (0 = GOMAXPROCS).
+	// Ignored when Service is set.
 	Parallelism int
+	// Service, when non-nil, runs simulations through a shared
+	// simsvc.Service so results are cached across figures (every
+	// figure re-runs a baseline column). When nil, each runSet spins
+	// up a private service with Parallelism workers.
+	Service *simsvc.Service
+	// Context cancels in-flight sweeps (nil = background).
+	Context context.Context
 }
 
 // DefaultOpts returns run lengths that finish the full suite in
@@ -38,10 +47,25 @@ func DefaultOpts() Opts {
 }
 
 func (o Opts) workloads() []string {
-	if len(o.Workloads) > 0 {
-		return o.Workloads
+	if len(o.Workloads) == 0 {
+		return eole.WorkloadNames()
 	}
-	return eole.WorkloadNames()
+	// Canonicalize to short names so aliases ("429.mcf") match the
+	// row filters and report keys, and dedupe so an alias pair does
+	// not produce a double-weighted row; unresolvable names pass
+	// through and fail in the service with a useful error.
+	out := make([]string, 0, len(o.Workloads))
+	seen := make(map[string]bool, len(o.Workloads))
+	for _, name := range o.Workloads {
+		if w, err := eole.WorkloadByName(name); err == nil {
+			name = w.Short
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // runKey identifies one simulation.
@@ -50,49 +74,39 @@ type runKey struct {
 	wl  string
 }
 
-// runSet executes every (config, workload) pair concurrently and
-// returns the reports. Configurations are resolved through resolve,
-// which lets figures use ad-hoc variants alongside named ones.
-func runSet(o Opts, cfgs []eole.Config) map[runKey]*eole.Report {
-	type job struct {
-		cfg eole.Config
-		wl  string
+// runSet executes every (config, workload) pair through the batch
+// simulation service and returns the reports keyed by (config name,
+// workload). With a shared Opts.Service, repeated pairs — notably the
+// baseline column every figure re-runs — are served from the service's
+// content-addressed cache instead of re-simulating.
+func runSet(o Opts, cfgs []eole.Config) (map[runKey]*eole.Report, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	var jobs []job
-	for _, c := range cfgs {
-		for _, w := range o.workloads() {
-			jobs = append(jobs, job{c, w})
+	svc := o.Service
+	if svc == nil {
+		var err error
+		svc, err = simsvc.New(simsvc.Options{Parallelism: o.Parallelism})
+		if err != nil {
+			return nil, err
 		}
+		defer svc.Close()
 	}
-	out := make(map[runKey]*eole.Report, len(jobs))
-	var mu sync.Mutex
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	reqs := simsvc.Cross(cfgs, o.workloads(), o.Warmup, o.Measure)
+	sweep, err := svc.SubmitSweep(ctx, reqs)
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			w, err := eole.WorkloadByName(j.wl)
-			if err != nil {
-				panic(err)
-			}
-			r, err := eole.Simulate(j.cfg, w, o.Warmup, o.Measure)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: %s on %s: %v", j.cfg.Name, j.wl, err))
-			}
-			mu.Lock()
-			out[runKey{j.cfg.Name, j.wl}] = r
-			mu.Unlock()
-		}(j)
+	reports, err := sweep.Wait(ctx)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	out := make(map[runKey]*eole.Report, len(reqs))
+	for i, r := range reports {
+		out[runKey{reqs[i].Config.Name, reqs[i].Workload}] = r
+	}
+	return out, nil
 }
 
 func named(name string) eole.Config {
@@ -105,9 +119,12 @@ func named(name string) eole.Config {
 
 // speedupTable builds a per-benchmark speedup table of the given
 // configurations normalized to baseline.
-func speedupTable(o Opts, title, baseline string, series []eole.Config) *stats.Table {
+func speedupTable(o Opts, title, baseline string, series []eole.Config) (*stats.Table, error) {
 	cfgs := append([]eole.Config{named(baseline)}, series...)
-	reports := runSet(o, cfgs)
+	reports, err := runSet(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, len(series))
 	for i, c := range series {
 		cols[i] = c.Name
@@ -124,13 +141,16 @@ func speedupTable(o Opts, title, baseline string, series []eole.Config) *stats.T
 		}
 		t.AddRow(wl, vals...)
 	}
-	return t
+	return t, nil
 }
 
 // Table3 reproduces Table 3: per-benchmark IPC of Baseline_6_64, with
 // the paper's reported IPC alongside for comparison.
-func Table3(o Opts) *stats.Table {
-	reports := runSet(o, []eole.Config{named("Baseline_6_64")})
+func Table3(o Opts) (*stats.Table, error) {
+	reports, err := runSet(o, []eole.Config{named("Baseline_6_64")})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Table 3: baseline IPC per benchmark", "benchmark",
 		"IPC", "paper_IPC")
 	t.Note = "Baseline_6_64 (no value prediction); paper column is the authors' gem5/SPEC measurement"
@@ -147,18 +167,21 @@ func Table3(o Opts) *stats.Table {
 		r := reports[runKey{"Baseline_6_64", w.Short}]
 		t.AddRow(w.Short, r.IPC, w.PaperIPC)
 	}
-	return t
+	return t, nil
 }
 
 // Figure2 reproduces Figure 2: the proportion of committed µ-ops that
 // can be early-executed with one or two ALU stages (VTAGE-2DStride
 // hybrid, 6-issue machine).
-func Figure2(o Opts) *stats.Table {
+func Figure2(o Opts) (*stats.Table, error) {
 	one := named("EOLE_6_64")
 	two := named("EOLE_6_64")
 	two.Name = "EOLE_6_64_EE2"
 	two.EEDepth = 2
-	reports := runSet(o, []eole.Config{one, two})
+	reports, err := runSet(o, []eole.Config{one, two})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 2: early-executable fraction of committed µ-ops",
 		"benchmark", "1_ALU_stage", "2_ALU_stages")
 	t.Note = "paper: 10%-40%, with the second stage adding little"
@@ -168,15 +191,18 @@ func Figure2(o Opts) *stats.Table {
 			reports[runKey{"EOLE_6_64", wl}].EEFraction,
 			reports[runKey{"EOLE_6_64_EE2", wl}].EEFraction)
 	}
-	return t
+	return t, nil
 }
 
 // Figure4 reproduces Figure 4: the proportion of committed µ-ops that
 // can be late-executed, split into very-high-confidence branches and
 // value-predicted single-cycle ALU µ-ops (disjoint from Figure 2's
 // early-executed set).
-func Figure4(o Opts) *stats.Table {
-	reports := runSet(o, []eole.Config{named("EOLE_6_64")})
+func Figure4(o Opts) (*stats.Table, error) {
+	reports, err := runSet(o, []eole.Config{named("EOLE_6_64")})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 4: late-executable fraction of committed µ-ops",
 		"benchmark", "HighConf_branches", "Value_predicted", "total")
 	t.Note = "LE-eligible µ-ops that were not early-executed"
@@ -184,19 +210,19 @@ func Figure4(o Opts) *stats.Table {
 		r := reports[runKey{"EOLE_6_64", wl}]
 		t.AddRow(wl, r.LEBranchFrac, r.LEFraction-r.LEBranchFrac, r.LEFraction)
 	}
-	return t
+	return t, nil
 }
 
 // Figure6 reproduces Figure 6: speedup of adding the VTAGE-2DStride
 // value predictor to the baseline (Baseline_VP_6_64 / Baseline_6_64).
-func Figure6(o Opts) *stats.Table {
+func Figure6(o Opts) (*stats.Table, error) {
 	return speedupTable(o, "Figure 6: speedup from value prediction",
 		"Baseline_6_64", []eole.Config{named("Baseline_VP_6_64")})
 }
 
 // Figure7 reproduces Figure 7: EOLE and the VP baseline across issue
 // widths, normalized to Baseline_VP_6_64.
-func Figure7(o Opts) *stats.Table {
+func Figure7(o Opts) (*stats.Table, error) {
 	return speedupTable(o, "Figure 7: issue-width impact on EOLE",
 		"Baseline_VP_6_64",
 		[]eole.Config{named("Baseline_VP_4_64"), named("EOLE_4_64"), named("EOLE_6_64")})
@@ -204,7 +230,7 @@ func Figure7(o Opts) *stats.Table {
 
 // Figure8 reproduces Figure 8: IQ-size impact, normalized to
 // Baseline_VP_6_64.
-func Figure8(o Opts) *stats.Table {
+func Figure8(o Opts) (*stats.Table, error) {
 	return speedupTable(o, "Figure 8: instruction-queue size impact on EOLE",
 		"Baseline_VP_6_64",
 		[]eole.Config{named("Baseline_VP_6_48"), named("EOLE_6_48"), named("EOLE_6_64")})
@@ -212,36 +238,42 @@ func Figure8(o Opts) *stats.Table {
 
 // Figure10 reproduces Figure 10: EOLE_4_64 with a banked PRF (2/4/8
 // banks), normalized to the single-bank EOLE_4_64.
-func Figure10(o Opts) *stats.Table {
+func Figure10(o Opts) (*stats.Table, error) {
 	var series []eole.Config
 	for _, banks := range []int{2, 4, 8} {
 		series = append(series, config.WithBanks(named("EOLE_4_64"), banks))
 	}
-	t := speedupTable(o, "Figure 10: PRF banking impact (EOLE_4_64)",
+	t, err := speedupTable(o, "Figure 10: PRF banking impact (EOLE_4_64)",
 		"EOLE_4_64", series)
+	if err != nil {
+		return nil, err
+	}
 	t.Note = "speedup over single-bank EOLE_4_64; paper: losses within ~2%"
-	return t
+	return t, nil
 }
 
 // Figure11 reproduces Figure 11: EOLE_4_64 with a 4-bank PRF and
 // 2/3/4 read ports per bank for the LE/VT stage, normalized to
 // EOLE_4_64 with unconstrained ports.
-func Figure11(o Opts) *stats.Table {
+func Figure11(o Opts) (*stats.Table, error) {
 	var series []eole.Config
 	for _, ports := range []int{2, 3, 4} {
 		c := config.WithLEVTPorts(config.WithBanks(named("EOLE_4_64"), 4), ports)
 		series = append(series, c)
 	}
-	t := speedupTable(o, "Figure 11: LE/VT read-port limits (4-bank EOLE_4_64)",
+	t, err := speedupTable(o, "Figure 11: LE/VT read-port limits (4-bank EOLE_4_64)",
 		"EOLE_4_64", series)
+	if err != nil {
+		return nil, err
+	}
 	t.Note = "paper: 2 ports lose visibly, 4 ports ≈ unconstrained"
-	return t
+	return t, nil
 }
 
 // Figure12 reproduces Figure 12, the headline comparison: the no-VP
 // baseline, idealized EOLE_4_64 and the practical banked/port-limited
 // EOLE, all normalized to Baseline_VP_6_64.
-func Figure12(o Opts) *stats.Table {
+func Figure12(o Opts) (*stats.Table, error) {
 	return speedupTable(o, "Figure 12: headline EOLE comparison",
 		"Baseline_VP_6_64",
 		[]eole.Config{named("Baseline_6_64"), named("EOLE_4_64"),
@@ -251,7 +283,7 @@ func Figure12(o Opts) *stats.Table {
 // Figure13 reproduces Figure 13: the modularity study — full EOLE,
 // Late-Execution-only (OLE) and Early-Execution-only (EOE), each with
 // the practical 4-bank/4-port PRF, normalized to Baseline_VP_6_64.
-func Figure13(o Opts) *stats.Table {
+func Figure13(o Opts) (*stats.Table, error) {
 	mk := func(name string) eole.Config {
 		c := named(name)
 		c.PRF.Banks = 4
@@ -311,6 +343,10 @@ func Section6() string {
 	return complexity.Section6().Render() + "\n" + complexity.Summary()
 }
 
+// ErrNoTable marks artefacts that are text-only (table1, section6) and
+// have no tabular form to chart.
+var ErrNoTable = errors.New("text-only artefact")
+
 // Artifact pairs an experiment id with its rendered output.
 type Artifact struct {
 	ID    string
@@ -318,56 +354,38 @@ type Artifact struct {
 	Text  string
 }
 
-// All regenerates every artefact in DESIGN.md's experiment index.
-func All(o Opts) []Artifact {
-	return []Artifact{
-		{"table1", "machine configuration", Table1()},
-		{"table2", "predictor layout", Table2().Render()},
-		{"table3", "baseline IPC", Table3(o).Render()},
-		{"figure2", "early-executable fraction", Figure2(o).Render()},
-		{"figure4", "late-executable fraction", Figure4(o).Render()},
-		{"figure6", "value prediction speedup", Figure6(o).Render()},
-		{"figure7", "issue width", Figure7(o).Render()},
-		{"figure8", "IQ size", Figure8(o).Render()},
-		{"figure10", "PRF banking", Figure10(o).Render()},
-		{"figure11", "LE/VT ports", Figure11(o).Render()},
-		{"figure12", "headline", Figure12(o).Render()},
-		{"figure13", "OLE/EOE modularity", Figure13(o).Render()},
-		{"section6", "hardware complexity", Section6()},
-	}
+// titleByID maps artefact ids to their short titles.
+var titleByID = map[string]string{
+	"table1":   "machine configuration",
+	"table2":   "predictor layout",
+	"table3":   "baseline IPC",
+	"figure2":  "early-executable fraction",
+	"figure4":  "late-executable fraction",
+	"figure6":  "value prediction speedup",
+	"figure7":  "issue width",
+	"figure8":  "IQ size",
+	"figure10": "PRF banking",
+	"figure11": "LE/VT ports",
+	"figure12": "headline",
+	"figure13": "OLE/EOE modularity",
+	"section6": "hardware complexity",
 }
 
 // ByID regenerates a single artefact.
 func ByID(id string, o Opts) (Artifact, error) {
 	switch id {
 	case "table1":
-		return Artifact{id, "machine configuration", Table1()}, nil
+		return Artifact{id, titleByID[id], Table1()}, nil
 	case "table2":
-		return Artifact{id, "predictor layout", Table2().Render()}, nil
-	case "table3":
-		return Artifact{id, "baseline IPC", Table3(o).Render()}, nil
-	case "figure2":
-		return Artifact{id, "early-executable fraction", Figure2(o).Render()}, nil
-	case "figure4":
-		return Artifact{id, "late-executable fraction", Figure4(o).Render()}, nil
-	case "figure6":
-		return Artifact{id, "value prediction speedup", Figure6(o).Render()}, nil
-	case "figure7":
-		return Artifact{id, "issue width", Figure7(o).Render()}, nil
-	case "figure8":
-		return Artifact{id, "IQ size", Figure8(o).Render()}, nil
-	case "figure10":
-		return Artifact{id, "PRF banking", Figure10(o).Render()}, nil
-	case "figure11":
-		return Artifact{id, "LE/VT ports", Figure11(o).Render()}, nil
-	case "figure12":
-		return Artifact{id, "headline", Figure12(o).Render()}, nil
-	case "figure13":
-		return Artifact{id, "OLE/EOE modularity", Figure13(o).Render()}, nil
+		return Artifact{id, titleByID[id], Table2().Render()}, nil
 	case "section6":
-		return Artifact{id, "hardware complexity", Section6()}, nil
+		return Artifact{id, titleByID[id], Section6()}, nil
 	}
-	return Artifact{}, fmt.Errorf("experiments: unknown artefact %q (try table1-3, figure2,4,6,7,8,10,11,12,13, section6)", id)
+	tb, err := TableByID(id, o)
+	if err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{id, titleByID[id], tb.Render()}, nil
 }
 
 // TableByID returns the raw table behind a figure artefact (for chart
@@ -377,27 +395,29 @@ func TableByID(id string, o Opts) (*stats.Table, error) {
 	case "table2":
 		return Table2(), nil
 	case "table3":
-		return Table3(o), nil
+		return Table3(o)
 	case "figure2":
-		return Figure2(o), nil
+		return Figure2(o)
 	case "figure4":
-		return Figure4(o), nil
+		return Figure4(o)
 	case "figure6":
-		return Figure6(o), nil
+		return Figure6(o)
 	case "figure7":
-		return Figure7(o), nil
+		return Figure7(o)
 	case "figure8":
-		return Figure8(o), nil
+		return Figure8(o)
 	case "figure10":
-		return Figure10(o), nil
+		return Figure10(o)
 	case "figure11":
-		return Figure11(o), nil
+		return Figure11(o)
 	case "figure12":
-		return Figure12(o), nil
+		return Figure12(o)
 	case "figure13":
-		return Figure13(o), nil
+		return Figure13(o)
+	case "table1", "section6":
+		return nil, fmt.Errorf("experiments: no table form for %q: %w", id, ErrNoTable)
 	}
-	return nil, fmt.Errorf("experiments: no table form for %q", id)
+	return nil, fmt.Errorf("experiments: unknown artefact %q (try table1-3, figure2,4,6,7,8,10,11,12,13, section6)", id)
 }
 
 // IDs lists the artefact identifiers in paper order.

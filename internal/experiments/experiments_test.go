@@ -1,11 +1,29 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 
+	"eole/internal/simsvc"
 	"eole/internal/stats"
 )
+
+// sharedSvc serves every test in the package, so figures that re-run
+// the same (config, workload) pairs — every speedup table re-runs its
+// baseline — hit the content-addressed cache instead of re-simulating.
+var sharedSvc *simsvc.Service
+
+func TestMain(m *testing.M) {
+	var err error
+	sharedSvc, err = simsvc.New(simsvc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	sharedSvc.Close()
+	os.Exit(code)
+}
 
 // fastOpts keeps harness tests quick: a representative 6-benchmark
 // subset covering ILP-heavy, branchy and memory-bound behaviour.
@@ -14,11 +32,15 @@ func fastOpts() Opts {
 		Warmup:    10_000,
 		Measure:   30_000,
 		Workloads: []string{"namd", "art", "crafty", "gzip", "milc", "hmmer"},
+		Service:   sharedSvc,
 	}
 }
 
 func TestTable3Shape(t *testing.T) {
-	tb := Table3(fastOpts())
+	tb, err := Table3(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.Rows() != 6 {
 		t.Fatalf("rows = %d, want 6", tb.Rows())
 	}
@@ -34,7 +56,10 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	tb := Figure2(fastOpts())
+	tb, err := Figure2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	one, _ := tb.ColumnByName("1_ALU_stage")
 	two, _ := tb.ColumnByName("2_ALU_stages")
 	for i := range one {
@@ -48,7 +73,10 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	tb := Figure4(fastOpts())
+	tb, err := Figure4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	total, _ := tb.ColumnByName("total")
 	br, _ := tb.ColumnByName("HighConf_branches")
 	vp, _ := tb.ColumnByName("Value_predicted")
@@ -66,7 +94,10 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure6NoBigSlowdowns(t *testing.T) {
-	tb := Figure6(fastOpts())
+	tb, err := Figure6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	col, _ := tb.ColumnByName("Baseline_VP_6_64")
 	if stats.Min(col) < 0.93 {
 		t.Errorf("VP slowdown beyond noise: min speedup %.3f", stats.Min(col))
@@ -77,7 +108,10 @@ func TestFigure6NoBigSlowdowns(t *testing.T) {
 }
 
 func TestFigure7HeadlineShape(t *testing.T) {
-	tb := Figure7(fastOpts())
+	tb, err := Figure7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	vp4, _ := tb.ColumnByName("Baseline_VP_4_64")
 	eole4, _ := tb.ColumnByName("EOLE_4_64")
 	eole6, _ := tb.ColumnByName("EOLE_6_64")
@@ -93,7 +127,10 @@ func TestFigure7HeadlineShape(t *testing.T) {
 }
 
 func TestFigure12Headline(t *testing.T) {
-	tb := Figure12(fastOpts())
+	tb, err := Figure12(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	practical, _ := tb.ColumnByName("EOLE_4_64_4ports_4banks")
 	if gm := stats.Geomean(practical); gm < 0.93 {
 		t.Errorf("practical EOLE geomean %.3f, want ≈ 1 (Figure 12)", gm)
@@ -101,7 +138,10 @@ func TestFigure12Headline(t *testing.T) {
 }
 
 func TestFigure13Modularity(t *testing.T) {
-	tb := Figure13(fastOpts())
+	tb, err := Figure13(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, col := range tb.Columns {
 		vals, _ := tb.ColumnByName(col)
 		if gm := stats.Geomean(vals); gm < 0.90 {

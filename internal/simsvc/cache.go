@@ -1,0 +1,140 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eole"
+)
+
+// resultCache is the content-addressed report store: a bounded
+// in-memory map always, plus an optional JSON spill directory that
+// persists results across processes. Reports are immutable once
+// published, so they are shared by pointer without copying.
+//
+// The memory side is capped at max entries with FIFO eviction —
+// results are content-addressed and re-creatable (from disk or by
+// re-simulating), so eviction never loses correctness, only warmth.
+// This keeps a long-running server bounded even when clients submit
+// unboundedly many distinct (warmup, measure) tuples.
+type resultCache struct {
+	mu    sync.RWMutex
+	mem   map[Key]*eole.Report
+	order []Key // insertion order, for FIFO eviction
+	max   int
+	dir   string // "" = memory only
+}
+
+func newResultCache(dir string, max int) *resultCache {
+	return &resultCache{mem: make(map[Key]*eole.Report), max: max, dir: dir}
+}
+
+// ensureDir creates the spill directory if it does not exist and
+// sweeps tmp files orphaned by interrupted spills in earlier runs. The
+// age gate keeps the sweep from deleting a temp file another live
+// process is about to rename — spills take milliseconds, not hours.
+func ensureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	orphans, _ := filepath.Glob(filepath.Join(dir, "tmp-*.json"))
+	for _, f := range orphans {
+		if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > time.Hour {
+			os.Remove(f)
+		}
+	}
+	return nil
+}
+
+// getMem returns the in-memory report for key, if any. It takes only
+// the cache's own lock and never touches the disk, so it is safe to
+// call under the service mutex.
+func (c *resultCache) getMem(key Key) *eole.Report {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.mem[key]
+}
+
+// getDisk loads key from the spill directory and promotes it to
+// memory. It performs file I/O — callers must not hold the service
+// mutex.
+func (c *resultCache) getDisk(key Key) *eole.Report {
+	if c.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var rep eole.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		// A corrupt spill file is treated as a miss; the slot is
+		// rewritten after the re-simulation.
+		return nil
+	}
+	c.putMem(key, &rep)
+	return &rep
+}
+
+// putMem inserts into the bounded in-memory map, evicting the oldest
+// entry when full.
+func (c *resultCache) putMem(key Key, r *eole.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.mem[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.mem[key] = r
+	for c.max > 0 && len(c.mem) > c.max {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.mem, victim)
+	}
+}
+
+// spillDisk writes a report to the spill directory. Best-effort: a
+// full or read-only directory degrades the cache to memory-only rather
+// than failing the simulation that produced the report. Callers run it
+// after completing waiters — file I/O must not delay them.
+func (c *resultCache) spillDisk(key Key, r *eole.Report) {
+	if c.dir == "" {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent readers from observing a
+	// partial file.
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.json")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// len returns the number of in-memory entries.
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+func (c *resultCache) path(key Key) string {
+	return filepath.Join(c.dir, key.String()+".json")
+}

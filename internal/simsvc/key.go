@@ -1,0 +1,64 @@
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"eole"
+)
+
+// Request describes one simulation: a machine configuration, a
+// workload (short or full name), and the run lengths. Two Requests
+// with equal content always hash to the same Key, so results are
+// shareable across callers.
+type Request struct {
+	Config   eole.Config `json:"config"`
+	Workload string      `json:"workload"`
+	Warmup   uint64      `json:"warmup"`
+	Measure  uint64      `json:"measure"`
+}
+
+// schemaVersion is folded into every Key. Bump it whenever the
+// simulator's observable behavior or the Report schema changes, so a
+// reused spill directory (Options.CacheDir) from an older build is
+// invalidated instead of silently serving stale results.
+const schemaVersion = 1
+
+// Key is the content address of a Request: a SHA-256 over its
+// canonical JSON encoding plus schemaVersion. The simulator is
+// deterministic, so equal keys imply identical Reports.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (used as the on-disk cache
+// filename).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf computes the content address of a request. The workload name
+// is canonicalized (short name) so "mcf" and "429.mcf" share a key,
+// and the config's display Name is excluded — it is a label, not
+// machine semantics, so identically-parameterized configs under
+// different names share one simulation. Unresolvable workload names
+// still produce a stable key and fail later at run time with a useful
+// error.
+func KeyOf(req Request) Key {
+	canonical := struct {
+		Version int `json:"version"`
+		Request
+	}{schemaVersion, req}
+	canonical.Config.Name = ""
+	if w, err := eole.WorkloadByName(req.Workload); err == nil {
+		canonical.Workload = w.Short
+	}
+	// encoding/json writes struct fields in declaration order and
+	// Config is plain data (no maps, no pointers), so the encoding is
+	// deterministic.
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		// Config and Request contain only marshalable scalar fields;
+		// reaching this is a programming error, not an input error.
+		panic(fmt.Sprintf("simsvc: cannot marshal request: %v", err))
+	}
+	return sha256.Sum256(b)
+}

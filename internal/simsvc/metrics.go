@@ -1,0 +1,75 @@
+package simsvc
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the service's internal atomic counter set.
+type metrics struct {
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	simsRun     atomic.Uint64
+	cacheHits   atomic.Uint64
+	diskHits    atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64
+	simNanos    atomic.Int64
+	simOps      atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the service counters. All
+// fields are cumulative since service creation.
+type Stats struct {
+	// Job accounting. Submitted counts every Submit/SubmitSweep job,
+	// including ones answered from the cache without simulating.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+
+	// Cache accounting. SimsRun counts simulations actually executed;
+	// CacheHits counts jobs answered from memory or disk; Coalesced
+	// counts jobs that joined an identical in-flight simulation
+	// (single-flight), so SimsRun + CacheHits + Coalesced ==
+	// JobsCompleted when nothing failed.
+	SimsRun     uint64 `json:"sims_run"`
+	CacheHits   uint64 `json:"cache_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	CacheSize   int    `json:"cache_size"`
+
+	// Throughput. SimWallTime is the summed wall time of executed
+	// simulations (overlapping across workers); SimulatedOps counts
+	// committed µ-ops (warmup + measure) across executed simulations.
+	SimWallTime  time.Duration `json:"sim_wall_time_ns"`
+	SimulatedOps uint64        `json:"simulated_uops"`
+
+	// UopsPerSec is SimulatedOps over summed wall time — per-worker
+	// simulation speed, not aggregate throughput.
+	UopsPerSec float64 `json:"uops_per_sec"`
+}
+
+func (m *metrics) snapshot(cacheSize int) Stats {
+	s := Stats{
+		JobsSubmitted: m.submitted.Load(),
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsCanceled:  m.canceled.Load(),
+		SimsRun:       m.simsRun.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		DiskHits:      m.diskHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		Coalesced:     m.coalesced.Load(),
+		CacheSize:     cacheSize,
+		SimWallTime:   time.Duration(m.simNanos.Load()),
+		SimulatedOps:  m.simOps.Load(),
+	}
+	if secs := s.SimWallTime.Seconds(); secs > 0 {
+		s.UopsPerSec = float64(s.SimulatedOps) / secs
+	}
+	return s
+}

@@ -1,0 +1,494 @@
+// Package simsvc is the shared batch simulation service: a job queue
+// with a bounded worker pool in front of a content-addressed result
+// cache. Every consumer of the simulator — the experiments harness,
+// the eoled HTTP server, ad-hoc tools — submits (config, workload,
+// warmup, measure) requests and gets back *eole.Report values.
+//
+// Because the simulator is deterministic, results are content
+// addressed: a request is hashed (see KeyOf) and repeated submissions
+// of the same request are answered from cache, including across
+// processes when a spill directory is configured. Identical requests
+// that are in flight at the same time are coalesced into a single
+// simulation (single-flight), so a sweep that includes the same
+// baseline column ten times still simulates it once.
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eole"
+)
+
+// ErrClosed is returned by Submit and Wait after Close has begun.
+var ErrClosed = errors.New("simsvc: service closed")
+
+// Status is a job's lifecycle state.
+type Status int32
+
+const (
+	StatusQueued Status = iota
+	StatusRunning
+	StatusDone
+	StatusFailed
+	StatusCanceled
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("Status(%d)", int32(s))
+}
+
+// Options configures a Service. The zero value is usable: GOMAXPROCS
+// workers, a 4096-deep queue, memory-only cache.
+type Options struct {
+	// Parallelism is the worker count (0 = GOMAXPROCS).
+	Parallelism int
+	// QueueDepth bounds the number of queued unique simulations
+	// (0 = 4096). Submit blocks when the queue is full.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (0 = 16384,
+	// negative = unbounded). The oldest entry is evicted when full;
+	// evicted results reload from CacheDir if configured.
+	CacheEntries int
+	// CacheDir, when set, spills results to <dir>/<key>.json and
+	// reloads them in later processes. The directory is created if
+	// missing.
+	CacheDir string
+}
+
+// Job is the handle for one submitted request. Wait blocks for the
+// result; Status, Report and Err observe it without blocking.
+type Job struct {
+	req Request
+	key Key
+	ctx context.Context // submit-time context: cancels a not-yet-started job
+
+	status atomic.Int32
+	done   chan struct{}
+	once   sync.Once
+	report *eole.Report
+	err    error
+	cached bool
+}
+
+// Request returns the submitted request.
+func (j *Job) Request() Request { return j.req }
+
+// Key returns the request's content address.
+func (j *Job) Key() Key { return j.key }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status { return Status(j.status.Load()) }
+
+// Done is closed when the job has a result (or error).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cached reports whether the result was served from cache rather than
+// a fresh simulation. Valid after Done.
+func (j *Job) Cached() bool {
+	select {
+	case <-j.done:
+		return j.cached
+	default:
+		return false
+	}
+}
+
+// Result returns the report and error without blocking; before Done
+// it returns (nil, nil).
+func (j *Job) Result() (*eole.Report, error) {
+	select {
+	case <-j.done:
+		return j.report, j.err
+	default:
+		return nil, nil
+	}
+}
+
+// Wait blocks until the job completes or ctx is canceled. A job that
+// is already done always returns its result, even if ctx is also
+// canceled — the select would otherwise pick nondeterministically.
+func (j *Job) Wait(ctx context.Context) (*eole.Report, error) {
+	select {
+	case <-j.done:
+		return j.report, j.err
+	default:
+	}
+	select {
+	case <-j.done:
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (j *Job) complete(r *eole.Report, err error, cached bool) {
+	j.once.Do(func() {
+		j.report, j.err, j.cached = r, err, cached
+		switch {
+		case err == nil:
+			j.status.Store(int32(StatusDone))
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrClosed):
+			j.status.Store(int32(StatusCanceled))
+		default:
+			j.status.Store(int32(StatusFailed))
+		}
+		close(j.done)
+	})
+}
+
+// task is one unique queued simulation; jobs holds every Job coalesced
+// onto it and running marks that a worker has started it (both guarded
+// by Service.mu).
+type task struct {
+	key     Key
+	req     Request
+	jobs    []*Job
+	running bool
+}
+
+// Service runs simulations through a bounded worker pool with
+// content-addressed caching. Create with New, release with Close.
+type Service struct {
+	opts  Options
+	cache *resultCache
+	m     metrics
+
+	ctx    context.Context // canceled on Close: workers abandon queued work
+	cancel context.CancelFunc
+	queue  chan *task
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[Key]*task
+	senders  sync.WaitGroup // Submits blocked on the queue; Close waits before closing it
+	closed   bool
+}
+
+// New starts a service with opts.Parallelism workers. The caller must
+// Close it to release the workers.
+func New(opts Options) (*Service, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4096
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 16384
+	}
+	if opts.CacheDir != "" {
+		if err := ensureDir(opts.CacheDir); err != nil {
+			return nil, fmt.Errorf("simsvc: cache dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:     opts,
+		cache:    newResultCache(opts.CacheDir, opts.CacheEntries),
+		ctx:      ctx,
+		cancel:   cancel,
+		queue:    make(chan *task, opts.QueueDepth),
+		inflight: make(map[Key]*task),
+	}
+	for i := 0; i < opts.Parallelism; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit enqueues one request and returns its job handle. A request
+// whose result is already cached completes immediately; a request
+// identical to one already queued or running joins it instead of
+// simulating twice. ctx cancels the job while it is still queued (a
+// running simulation is not preempted) and bounds the enqueue itself.
+func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := KeyOf(req)
+	j := &Job{req: req, key: key, ctx: ctx, done: make(chan struct{})}
+	s.m.submitted.Add(1)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if r := s.cache.getMem(key); r != nil {
+		s.mu.Unlock()
+		s.m.cacheHits.Add(1)
+		s.m.completed.Add(1)
+		j.complete(r, nil, true)
+		return j, nil
+	}
+	if t, ok := s.inflight[key]; ok {
+		t.jobs = append(t.jobs, j)
+		if t.running {
+			j.status.Store(int32(StatusRunning))
+		}
+		s.mu.Unlock()
+		s.m.coalesced.Add(1)
+		return j, nil
+	}
+	t := &task{key: key, req: req, jobs: []*Job{j}}
+	s.inflight[key] = t
+	s.senders.Add(1) // under mu: Close cannot have passed its closed check yet
+	s.mu.Unlock()
+	defer s.senders.Done()
+
+	// Probe the spill directory outside the lock — disk I/O must not
+	// stall other Submits or job completions. The task is already
+	// registered, so concurrent identical Submits coalesce onto it and
+	// are resolved by the detach below.
+	if r := s.cache.getDisk(key); r != nil {
+		s.m.cacheHits.Add(1)
+		s.m.diskHits.Add(1)
+		for _, jb := range s.detach(t) {
+			s.m.completed.Add(1)
+			jb.complete(r, nil, true)
+		}
+		return j, nil
+	}
+	s.m.cacheMisses.Add(1)
+
+	select {
+	case s.queue <- t:
+		return j, nil
+	case <-ctx.Done():
+		// Fail only this job: other callers may have coalesced onto
+		// the task while we were blocked, and their contexts are not
+		// canceled. If any remain, hand the enqueue off to a goroutine
+		// so they still get their simulation.
+		s.mu.Lock()
+		rest := t.jobs[:0]
+		for _, jb := range t.jobs {
+			if jb != j {
+				rest = append(rest, jb)
+			}
+		}
+		t.jobs = rest
+		if len(rest) == 0 {
+			delete(s.inflight, t.key)
+		} else {
+			// Safe while our own senders hold is still open (Done is
+			// deferred), so the counter cannot reach zero in between.
+			s.senders.Add(1)
+			go func() {
+				defer s.senders.Done()
+				select {
+				case s.queue <- t:
+				case <-s.ctx.Done():
+					s.abandon(t, ErrClosed)
+				}
+			}()
+		}
+		s.mu.Unlock()
+		s.m.canceled.Add(1)
+		j.complete(nil, ctx.Err(), false)
+		return nil, ctx.Err()
+	case <-s.ctx.Done():
+		s.abandon(t, ErrClosed)
+		return nil, ErrClosed
+	}
+}
+
+// Sweep is the handle for a batch of jobs, in submission order.
+type Sweep struct {
+	Jobs []*Job
+}
+
+// SubmitSweep enqueues a batch of requests. Jobs[i] corresponds to
+// reqs[i]; duplicate requests within the sweep share one simulation.
+func (s *Service) SubmitSweep(ctx context.Context, reqs []Request) (*Sweep, error) {
+	sw := &Sweep{Jobs: make([]*Job, 0, len(reqs))}
+	for _, req := range reqs {
+		j, err := s.Submit(ctx, req)
+		if err != nil {
+			return sw, err
+		}
+		sw.Jobs = append(sw.Jobs, j)
+	}
+	return sw, nil
+}
+
+// Wait blocks until every job in the sweep completes or ctx is
+// canceled. Reports are aligned with the submitted requests; a job
+// that failed leaves a nil slot and contributes to the joined error.
+func (sw *Sweep) Wait(ctx context.Context) ([]*eole.Report, error) {
+	reports := make([]*eole.Report, len(sw.Jobs))
+	var errs []error
+	for i, j := range sw.Jobs {
+		r, err := j.Wait(ctx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s on %s: %w", j.req.Config.Name, j.req.Workload, err))
+			continue
+		}
+		reports[i] = r
+	}
+	return reports, errors.Join(errs...)
+}
+
+// Cross builds the (config × workload) request grid every figure-style
+// sweep uses, in row-major (config-major) order.
+func Cross(cfgs []eole.Config, workloads []string, warmup, measure uint64) []Request {
+	reqs := make([]Request, 0, len(cfgs)*len(workloads))
+	for _, c := range cfgs {
+		for _, w := range workloads {
+			reqs = append(reqs, Request{Config: c, Workload: w, Warmup: warmup, Measure: measure})
+		}
+	}
+	return reqs
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats { return s.m.snapshot(s.cache.len()) }
+
+// Parallelism returns the resolved worker count.
+func (s *Service) Parallelism() int { return s.opts.Parallelism }
+
+// Close gracefully shuts the service down: no new submissions are
+// accepted, queued-but-unstarted jobs complete with ErrClosed, running
+// simulations finish, and the workers exit. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Cancel first so Submits blocked on a full queue bail out, wait
+	// for them, and only then close the queue — no Submit can start a
+	// send after closed is set, so the close cannot race a send.
+	s.cancel()
+	s.senders.Wait()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// abandon fails every job attached to t and removes it from the
+// inflight set (used when the task never reached the queue, or was
+// drained after Close).
+func (s *Service) abandon(t *task, err error) {
+	jobs := s.detach(t)
+	for _, j := range jobs {
+		s.m.canceled.Add(1)
+		j.complete(nil, err, false)
+	}
+}
+
+// detach removes t from the inflight set and returns its final job
+// list; later identical submissions will hit the cache or start fresh.
+func (s *Service) detach(t *task) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, t.key)
+	jobs := t.jobs
+	t.jobs = nil
+	return jobs
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.run(t)
+	}
+}
+
+// run executes one unique simulation and resolves every coalesced job.
+func (s *Service) run(t *task) {
+	if s.ctx.Err() != nil {
+		s.abandon(t, ErrClosed)
+		return
+	}
+	// Drop jobs whose submit context was canceled while queued; if
+	// nobody still wants the result, skip the simulation entirely.
+	// The empty check and the inflight removal happen in one critical
+	// section, so no Submit can coalesce onto a task that is about to
+	// be dropped (it would hang forever).
+	s.mu.Lock()
+	live := t.jobs[:0]
+	var dead []*Job
+	for _, j := range t.jobs {
+		if j.ctx.Err() != nil {
+			dead = append(dead, j)
+		} else {
+			live = append(live, j)
+		}
+	}
+	t.jobs = live
+	if len(live) == 0 {
+		delete(s.inflight, t.key)
+	} else {
+		t.running = true // late coalescers are marked running by Submit
+		for _, j := range live {
+			j.status.Store(int32(StatusRunning))
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range dead {
+		s.m.canceled.Add(1)
+		j.complete(nil, j.ctx.Err(), false)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	r, err := s.simulate(t.req)
+	if err != nil {
+		for _, j := range s.detach(t) {
+			s.m.failed.Add(1)
+			j.complete(nil, err, false)
+		}
+		return
+	}
+	// Publish to the memory cache before detaching: a concurrent
+	// Submit holds s.mu while it checks the cache and then the
+	// inflight set, so it observes at least one of the two. The disk
+	// spill happens after waiters are released — file I/O must not
+	// delay them.
+	s.cache.putMem(t.key, r)
+	for i, j := range s.detach(t) {
+		s.m.completed.Add(1)
+		// The first attached job triggered the simulation; the rest
+		// were coalesced onto it and count as cache-equivalent hits.
+		j.complete(r, nil, i > 0)
+	}
+	s.cache.spillDisk(t.key, r)
+}
+
+func (s *Service) simulate(req Request) (*eole.Report, error) {
+	w, err := eole.WorkloadByName(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := eole.Simulate(req.Config, w, req.Warmup, req.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", req.Config.Name, req.Workload, err)
+	}
+	s.m.simsRun.Add(1)
+	s.m.simNanos.Add(int64(time.Since(start)))
+	s.m.simOps.Add(req.Warmup + req.Measure)
+	return r, nil
+}

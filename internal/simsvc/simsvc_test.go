@@ -1,0 +1,446 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"eole"
+)
+
+// testReq is a tiny but real simulation: long enough to exercise the
+// pipeline, short enough to keep the suite fast.
+func testReq(t *testing.T, cfgName, wl string) Request {
+	t.Helper()
+	cfg, err := eole.NamedConfig(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{Config: cfg, Workload: wl, Warmup: 2_000, Measure: 5_000}
+}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	a := testReq(t, "EOLE_4_64", "mcf")
+	b := testReq(t, "EOLE_4_64", "mcf")
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("identical requests must share a key")
+	}
+	// Short and full workload names are the same content.
+	full := a
+	full.Workload = "429.mcf"
+	if KeyOf(full) != KeyOf(a) {
+		t.Error("workload aliases must share a key")
+	}
+	// Any semantic difference must change the key.
+	diff := a
+	diff.Measure++
+	if KeyOf(diff) == KeyOf(a) {
+		t.Error("different measure must change the key")
+	}
+	other := testReq(t, "Baseline_6_64", "mcf")
+	if KeyOf(other) == KeyOf(a) {
+		t.Error("different config must change the key")
+	}
+	// The display name is a label, not machine semantics: renamed but
+	// identically-parameterized configs must share one simulation
+	// (Figure 11's "_4banks_4ports" vs Figure 12's "_4ports_4banks").
+	renamed := a
+	renamed.Config.Name = "EOLE_4_64_alias"
+	if KeyOf(renamed) != KeyOf(a) {
+		t.Error("config name must not change the key")
+	}
+}
+
+// TestCacheHitDeterminism is the headline acceptance check: the same
+// key simulates exactly once and repeated submissions get the
+// identical report.
+func TestCacheHitDeterminism(t *testing.T) {
+	s := newTestService(t, Options{Parallelism: 2})
+	ctx := context.Background()
+	req := testReq(t, "EOLE_4_64", "crafty")
+
+	j1, err := s.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := j1.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := j2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cache hit must return the shared report")
+	}
+	if !j2.Cached() {
+		t.Error("second submission must be marked cached")
+	}
+	if j1.Status() != StatusDone || j2.Status() != StatusDone {
+		t.Errorf("statuses: %v, %v", j1.Status(), j2.Status())
+	}
+	st := s.Stats()
+	if st.SimsRun != 1 {
+		t.Errorf("SimsRun = %d, want exactly 1", st.SimsRun)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", st.CacheHits)
+	}
+	if st.UopsPerSec <= 0 {
+		t.Errorf("UopsPerSec = %v, want > 0", st.UopsPerSec)
+	}
+}
+
+// TestSweepFanOut runs the same sweep — with a duplicated baseline
+// column — across worker-pool widths and checks both the results and
+// the one-sim-per-unique-key invariant.
+func TestSweepFanOut(t *testing.T) {
+	base := testReq(t, "Baseline_6_64", "gzip")
+	reqs := []Request{
+		base, // baseline
+		testReq(t, "EOLE_4_64", "gzip"),
+		testReq(t, "EOLE_6_64", "gzip"),
+		base, // repeated baseline: must not re-simulate
+		testReq(t, "Baseline_VP_6_64", "gzip"),
+	}
+	const unique = 4
+	var want []*eole.Report
+	for _, par := range []int{1, 2, 4} {
+		s := newTestService(t, Options{Parallelism: par})
+		sweep, err := s.SubmitSweep(context.Background(), reqs)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		reports, err := sweep.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(reports) != len(reqs) {
+			t.Fatalf("par=%d: %d reports, want %d", par, len(reports), len(reqs))
+		}
+		if reports[0] != reports[3] {
+			t.Errorf("par=%d: duplicated request must share one report", par)
+		}
+		st := s.Stats()
+		if st.SimsRun != unique {
+			t.Errorf("par=%d: SimsRun = %d, want %d (one per unique key)", par, st.SimsRun, unique)
+		}
+		// The simulator is deterministic: every pool width must
+		// produce identical numbers.
+		if want == nil {
+			want = reports
+		} else {
+			for i := range reports {
+				if reports[i].IPC != want[i].IPC || reports[i].Cycles != want[i].Cycles {
+					t.Errorf("par=%d: report %d differs across pool widths", par, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCancellationMidSweep(t *testing.T) {
+	// One worker and a deliberately long head job: everything behind
+	// it is still queued when we cancel.
+	s := newTestService(t, Options{Parallelism: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	head := testReq(t, "Baseline_6_64", "namd")
+	head.Measure = 200_000
+	reqs := []Request{head}
+	for _, wl := range []string{"art", "milc", "hmmer", "sjeng", "vortex"} {
+		reqs = append(reqs, testReq(t, "Baseline_6_64", wl))
+	}
+	sweep, err := s.SubmitSweep(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	reports, err := sweep.Wait(context.Background())
+	if err == nil {
+		t.Fatal("canceled sweep must report an error")
+	}
+	canceled := 0
+	for i, j := range sweep.Jobs {
+		<-j.Done()
+		if _, jerr := j.Result(); errors.Is(jerr, context.Canceled) {
+			canceled++
+			if reports[i] != nil {
+				t.Errorf("job %d: canceled but has a report", i)
+			}
+			if j.Status() != StatusCanceled {
+				t.Errorf("job %d: status %v, want canceled", i, j.Status())
+			}
+		}
+	}
+	if canceled == 0 {
+		t.Error("no job observed the cancellation")
+	}
+	if st := s.Stats(); st.JobsCanceled == 0 {
+		t.Error("JobsCanceled counter did not move")
+	}
+}
+
+func TestSingleFlightCoalescing(t *testing.T) {
+	// With one worker and a slow head job, identical submissions queue
+	// behind it and must coalesce onto one task.
+	s := newTestService(t, Options{Parallelism: 1})
+	ctx := context.Background()
+	blocker := testReq(t, "Baseline_6_64", "namd")
+	blocker.Measure = 100_000
+	if _, err := s.Submit(ctx, blocker); err != nil {
+		t.Fatal(err)
+	}
+	req := testReq(t, "EOLE_4_64", "art")
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	var first *eole.Report
+	for i, j := range jobs {
+		r, err := j.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if first == nil {
+			first = r
+		} else if r != first {
+			t.Errorf("job %d: coalesced jobs must share one report", i)
+		}
+	}
+	st := s.Stats()
+	if got := st.SimsRun; got != 2 { // blocker + one for the 5 coalesced
+		t.Errorf("SimsRun = %d, want 2", got)
+	}
+	if st.Coalesced != 4 {
+		t.Errorf("Coalesced = %d, want 4", st.Coalesced)
+	}
+}
+
+// TestCanceledOriginatorKeepsCoalescers: when the Submit that created
+// a task is canceled while blocked on a full queue, jobs coalesced
+// onto that task by other callers must still run.
+func TestCanceledOriginatorKeepsCoalescers(t *testing.T) {
+	s := newTestService(t, Options{Parallelism: 1, QueueDepth: 1})
+	ctx := context.Background()
+	// The blocker must keep the single worker busy for the whole test
+	// so the queue slot stays occupied by the filler.
+	blocker := testReq(t, "Baseline_6_64", "namd")
+	blocker.Measure = 2_000_000
+	if _, err := s.Submit(ctx, blocker); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // worker dequeues the blocker
+	filler := testReq(t, "Baseline_6_64", "art")
+	if _, err := s.Submit(ctx, filler); err != nil { // fills the 1-deep queue
+		t.Fatal(err)
+	}
+	target := testReq(t, "EOLE_4_64", "gzip")
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctxA, target)
+		errc <- err
+	}()
+	// Wait until the originator has registered the target task (its
+	// cache-miss counter moves before it parks on the queue send).
+	for i := 0; s.Stats().CacheMisses < 3 && i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	jB, err := s.Submit(ctx, target) // coalesces onto the blocked task
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelA()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("originator Submit = %v, want context.Canceled", err)
+	}
+	r, err := jB.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coalesced job must survive the originator's cancel: %v", err)
+	}
+	if r == nil || r.IPC <= 0 {
+		t.Error("coalesced job returned an invalid report")
+	}
+}
+
+func TestDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	req := testReq(t, "EOLE_4_64", "gzip")
+	ctx := context.Background()
+
+	s1 := newTestService(t, Options{Parallelism: 1, CacheDir: dir})
+	j, err := s1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// A second service over the same directory must not re-simulate.
+	s2 := newTestService(t, Options{Parallelism: 1, CacheDir: dir})
+	j2, err := s2.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := j2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.SimsRun != 0 {
+		t.Errorf("SimsRun = %d, want 0 (served from disk)", st.SimsRun)
+	}
+	if st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", st.DiskHits)
+	}
+	if r2.IPC != r1.IPC || r2.Cycles != r1.Cycles || r2.Raw() != r1.Raw() {
+		t.Error("disk round-trip must preserve the report, including raw counters")
+	}
+	// And the JSON itself must round-trip the whole report.
+	b, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back eole.Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Raw() != r1.Raw() {
+		t.Error("Report JSON must carry the raw counter set")
+	}
+}
+
+// TestCacheEviction: the in-memory cache is bounded FIFO; evicted
+// entries fall back to disk when a spill directory is configured.
+func TestCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Options{Parallelism: 1, CacheEntries: 2, CacheDir: dir})
+	ctx := context.Background()
+	reqs := []Request{
+		testReq(t, "Baseline_6_64", "gzip"),
+		testReq(t, "EOLE_4_64", "gzip"),
+		testReq(t, "EOLE_6_64", "gzip"),
+	}
+	for _, req := range reqs {
+		j, err := s.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size := s.Stats().CacheSize; size != 2 {
+		t.Errorf("cache size = %d, want 2 (bounded)", size)
+	}
+	// The first request was evicted from memory but spilled to disk.
+	j, err := s.Submit(ctx, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SimsRun != 3 {
+		t.Errorf("SimsRun = %d, want 3 (evicted entry served from disk, not re-simulated)", st.SimsRun)
+	}
+	if st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", st.DiskHits)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := newTestService(t, Options{Parallelism: 1})
+	ctx := context.Background()
+	// Invalid workload fails the job, not the process.
+	bad := testReq(t, "EOLE_4_64", "crafty")
+	bad.Workload = "no-such-benchmark"
+	j, err := s.Submit(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err == nil {
+		t.Fatal("unknown workload must fail the job")
+	}
+	if j.Status() != StatusFailed {
+		t.Errorf("status %v, want failed", j.Status())
+	}
+	// Invalid config likewise.
+	badCfg := testReq(t, "EOLE_4_64", "crafty")
+	badCfg.Config.IssueWidth = -1
+	j2, err := s.Submit(ctx, badCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(ctx); err == nil {
+		t.Fatal("invalid config must fail the job")
+	}
+	if st := s.Stats(); st.JobsFailed != 2 {
+		t.Errorf("JobsFailed = %d, want 2", st.JobsFailed)
+	}
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	s, err := New(Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := s.Submit(ctx, testReq(t, "Baseline_6_64", "gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// The in-flight job either finished or was abandoned with ErrClosed
+	// — but it must be resolved, not leaked.
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Close must resolve every job")
+	}
+	if _, err := s.Submit(ctx, testReq(t, "Baseline_6_64", "art")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestWaitRespectsContext(t *testing.T) {
+	s := newTestService(t, Options{Parallelism: 1})
+	req := testReq(t, "Baseline_6_64", "namd")
+	req.Measure = 500_000
+	j, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := j.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Wait = %v, want deadline exceeded", err)
+	}
+}
