@@ -3,17 +3,25 @@
 // content-addressed result cache, so identical (config, workload,
 // warmup, measure) asks — from one client or many — simulate once.
 //
+// By default the service is also trace-driven: the committed µ-op
+// stream of each workload is recorded once and replayed for every
+// configuration, so a sweep interprets each workload one time instead
+// of once per config (replay is byte-identical to execute-driven
+// simulation). Disable with -traces=false; persist recordings across
+// restarts with -trace-dir.
+//
 // Endpoints (all JSON):
 //
 //	POST /v1/simulate   {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
 //	POST /v1/sweep      {"configs":[...],"workloads":[...],"warmup":...,"measure":...}
 //	GET  /v1/configs    named machine configurations
 //	GET  /v1/workloads  the 19 benchmarks
-//	GET  /v1/stats      service counters (sims run, cache hits, µ-ops/s)
+//	GET  /v1/traces     recorded µ-op traces (workload, length, bytes)
+//	GET  /v1/stats      service counters (sims run, cache hits, trace replays, µ-ops/s)
 //
 // Example:
 //
-//	eoled -addr :8080 -cache-dir /var/cache/eole &
+//	eoled -addr :8080 -cache-dir /var/cache/eole -trace-dir /var/cache/eole-traces &
 //	curl -s localhost:8080/v1/simulate -d '{"config":"EOLE_4_64","workload":"namd"}'
 package main
 
@@ -41,10 +49,20 @@ func main() {
 		warmup   = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
 		measure  = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
 		maxUops  = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
+		traces   = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
+		traceDir = flag.String("trace-dir", "", "persist recorded traces to this directory (implies -traces)")
+		traceMax = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
 	)
 	flag.Parse()
 
-	svc, err := simsvc.New(simsvc.Options{Parallelism: *par, CacheDir: *cacheDir, CacheEntries: *cacheN})
+	svc, err := simsvc.New(simsvc.Options{
+		Parallelism:  *par,
+		CacheDir:     *cacheDir,
+		CacheEntries: *cacheN,
+		Traces:       *traces,
+		TraceDir:     *traceDir,
+		TraceMaxOps:  *traceMax,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eoled:", err)
 		os.Exit(1)

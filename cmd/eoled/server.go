@@ -46,6 +46,7 @@ func newServer(svc *simsvc.Service, defaultWarmup, defaultMeasure, maxUops uint6
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -209,6 +210,20 @@ func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string][]workloadInfo{"workloads": infos})
+}
+
+// tracesResponse lists the recorded µ-op traces the service replays
+// for sweep acceleration.
+type tracesResponse struct {
+	Enabled bool               `json:"enabled"`
+	Traces  []simsvc.TraceInfo `json:"traces"`
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Enabled: s.svc.TracesEnabled(),
+		Traces:  s.svc.Traces(),
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

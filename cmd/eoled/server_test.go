@@ -243,3 +243,58 @@ func TestMethodRouting(t *testing.T) {
 		}
 	}
 }
+
+// TestTracesEndpoint runs a small sweep through a trace-enabled
+// service and checks /v1/traces lists the recordings (and that a
+// disabled service reports enabled=false).
+func TestTracesEndpoint(t *testing.T) {
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 2, Traces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := newServer(svc, 1_000, 4_000, 1_000_000)
+
+	var resp tracesResponse
+	if rec := getJSON(t, h, "/v1/traces", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/traces: %d", rec.Code)
+	}
+	if !resp.Enabled || len(resp.Traces) != 0 {
+		t.Fatalf("fresh service: %+v", resp)
+	}
+
+	if rec := postJSON(t, h, "/v1/sweep", sweepRequest{
+		Configs:   []string{"Baseline_6_64", "EOLE_4_64"},
+		Workloads: []string{"gzip"},
+	}); rec.Code != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	if rec := getJSON(t, h, "/v1/traces", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/traces: %d", rec.Code)
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0].Workload != "gzip" || resp.Traces[0].Uops == 0 {
+		t.Fatalf("traces after sweep: %+v", resp)
+	}
+	var st simsvc.Stats
+	if rec := getJSON(t, h, "/v1/stats", &st); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/stats: %d", rec.Code)
+	}
+	if st.TracesRecorded != 1 || st.TraceReplays != 2 {
+		t.Errorf("trace stats: recorded=%d replays=%d, want 1/2", st.TracesRecorded, st.TraceReplays)
+	}
+
+	// Trace-disabled service.
+	plain, err := simsvc.New(simsvc.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(plain.Close)
+	hp := newServer(plain, 1_000, 4_000, 1_000_000)
+	if rec := getJSON(t, hp, "/v1/traces", &resp); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/traces: %d", rec.Code)
+	}
+	if resp.Enabled || len(resp.Traces) != 0 {
+		t.Fatalf("disabled service: %+v", resp)
+	}
+}

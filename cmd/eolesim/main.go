@@ -5,8 +5,18 @@
 //
 //	eolesim -config EOLE_4_64 -workload namd -warmup 50000 -n 200000
 //	eolesim -config EOLE_4_64 -workload namd -json
+//	eolesim -workload namd -record -tracedir traces          # record µ-op trace
+//	eolesim -config EOLE_4_64 -workload namd -replay -tracedir traces
 //	eolesim -list
 //	eolesim -disasm mcf
+//	eolesim -config EOLE_4_64 -workload mcf -pipetrace 40
+//
+// Record/replay: -record interprets the workload once and writes its
+// committed µ-op stream to <tracedir>/<workload>.trace; -replay runs
+// the simulation from that file instead of re-interpreting, producing
+// a byte-identical report. A missing, corrupt or version-mismatched
+// trace file makes -replay fall back to execute-driven simulation
+// with a warning on stderr.
 package main
 
 import (
@@ -19,23 +29,27 @@ import (
 	"eole/internal/config"
 	"eole/internal/core"
 	"eole/internal/prog"
+	"eole/internal/trace"
 	"eole/internal/workload"
 )
 
 func main() {
 	var (
-		cfgName = flag.String("config", "EOLE_4_64", "machine configuration name")
-		wlName  = flag.String("workload", "namd", "benchmark name (short or full)")
-		warmup  = flag.Uint64("warmup", 50_000, "warm-up µ-ops before measurement")
-		n       = flag.Uint64("n", 200_000, "measured µ-ops")
-		list    = flag.Bool("list", false, "list configurations and workloads")
-		asJSON  = flag.Bool("json", false, "emit the report as JSON (machine readable)")
-		disasm  = flag.String("disasm", "", "print the program of a workload and exit")
-		traceN  = flag.Uint64("trace", 0, "render a pipeline trace of N µ-ops after warm-up and exit")
+		cfgName  = flag.String("config", "EOLE_4_64", "machine configuration name")
+		wlName   = flag.String("workload", "namd", "benchmark name (short or full)")
+		warmup   = flag.Uint64("warmup", 50_000, "warm-up µ-ops before measurement")
+		n        = flag.Uint64("n", 200_000, "measured µ-ops")
+		list     = flag.Bool("list", false, "list configurations and workloads")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON (machine readable)")
+		disasm   = flag.String("disasm", "", "print the program of a workload and exit")
+		pipeN    = flag.Uint64("pipetrace", 0, "render a pipeline trace of N µ-ops after warm-up and exit")
+		record   = flag.Bool("record", false, "record the workload's µ-op stream to <tracedir>/<workload>.trace and exit (unless -replay)")
+		replay   = flag.Bool("replay", false, "replay the recorded µ-op stream instead of re-interpreting the workload")
+		tracedir = flag.String("tracedir", "traces", "directory for recorded µ-op traces")
 	)
 	flag.Parse()
 
-	if *traceN > 0 {
+	if *pipeN > 0 {
 		cfg, err := config.Named(*cfgName)
 		if err != nil {
 			fail(err)
@@ -47,11 +61,11 @@ func main() {
 		c := core.New(cfg, prog.MachineSource{M: w.NewMachine()})
 		c.Run(*warmup)
 		from := c.Stats().Fetched
-		pt := core.NewPipeTrace(from, from+*traceN-1)
+		pt := core.NewPipeTrace(from, from+*pipeN-1)
 		c.SetTracer(pt)
 		// Run well past the traced window so every traced µ-op drains
 		// through commit.
-		c.Run(*traceN + 2048)
+		c.Run(*pipeN + 2048)
 		pt.Render(os.Stdout)
 		return
 	}
@@ -76,15 +90,31 @@ func main() {
 		return
 	}
 
-	cfg, err := eole.NamedConfig(*cfgName)
-	if err != nil {
-		fail(err)
-	}
 	w, err := eole.WorkloadByName(*wlName)
 	if err != nil {
 		fail(err)
 	}
-	r, err := eole.Simulate(cfg, w, *warmup, *n)
+
+	if *record {
+		if err := recordTrace(w, *warmup+*n+eole.TraceSlack, *tracedir); err != nil {
+			fail(err)
+		}
+		if !*replay {
+			return
+		}
+	}
+
+	cfg, err := eole.NamedConfig(*cfgName)
+	if err != nil {
+		fail(err)
+	}
+	var opts []eole.SimOption
+	if *replay {
+		if t := loadTrace(w, *warmup+*n+eole.TraceSlack, *tracedir); t != nil {
+			opts = append(opts, eole.WithReplay(t))
+		}
+	}
+	r, err := eole.Simulate(cfg, w, *warmup, *n, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -97,6 +127,45 @@ func main() {
 		return
 	}
 	fmt.Println(r)
+}
+
+// recordTrace interprets the workload once and writes the trace file.
+func recordTrace(w eole.Workload, uops uint64, dir string) error {
+	t := eole.RecordTrace(w, uops)
+	path := trace.Path(dir, w.Short)
+	if err := trace.WriteFile(path, t); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "eolesim: recorded %d µ-ops of %s to %s (%d bytes)\n",
+		t.Count, w.Short, path, t.SizeBytes())
+	return nil
+}
+
+// loadTrace reads the workload's trace for replay, returning nil (and
+// warning) when the simulation must fall back to execute-driven: file
+// missing, corrupt, written by another format version, recorded from
+// an older program build, or too short for this run.
+func loadTrace(w eole.Workload, need uint64, dir string) *eole.Trace {
+	path := trace.Path(dir, w.Short)
+	warn := func(format string, args ...any) *eole.Trace {
+		fmt.Fprintf(os.Stderr, "eolesim: %s: %s; falling back to execute-driven simulation\n",
+			path, fmt.Sprintf(format, args...))
+		return nil
+	}
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return warn("%v (run with -record first)", err)
+		}
+		return warn("%v", err)
+	}
+	if !t.CanServe(need) {
+		return warn("trace holds %d µ-ops, run needs %d", t.Count, need)
+	}
+	if _, err := t.SourceFor(w); err != nil {
+		return warn("%v", err)
+	}
+	return t
 }
 
 func fail(err error) {

@@ -28,12 +28,21 @@ func main() {
 		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "spill simulation results to this directory (reused across runs)")
 		stats    = flag.Bool("stats", false, "print simulation-service statistics at exit")
+		traces   = flag.Bool("traces", true, "interpret each workload once and replay its µ-op trace per config")
+		traceDir = flag.String("trace-dir", "", "persist recorded µ-op traces to this directory (implies -traces)")
 	)
 	flag.Parse()
 
 	// One shared service across every artefact: the baseline columns
-	// that figures re-run are simulated once and served from cache.
-	svc, err := simsvc.New(simsvc.Options{Parallelism: *par, CacheDir: *cacheDir})
+	// that figures re-run are simulated once and served from cache,
+	// and (with -traces) each workload is interpreted once per run
+	// instead of once per (figure, config).
+	svc, err := simsvc.New(simsvc.Options{
+		Parallelism: *par,
+		CacheDir:    *cacheDir,
+		Traces:      *traces,
+		TraceDir:    *traceDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -90,5 +99,9 @@ func main() {
 		st := svc.Stats()
 		fmt.Fprintf(os.Stderr, "simsvc: %d sims run, %d cache hits (%d from disk), %d coalesced, %.0f µ-ops/s/worker over %s\n",
 			st.SimsRun, st.CacheHits, st.DiskHits, st.Coalesced, st.UopsPerSec, st.SimWallTime.Round(1e6))
+		if svc.TracesEnabled() {
+			fmt.Fprintf(os.Stderr, "traces: %d recorded in %s, %d replays, %d fallbacks\n",
+				st.TracesRecorded, st.TraceRecordTime.Round(1e6), st.TraceReplays, st.TraceFallbacks)
+		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"eole/internal/config"
 	"eole/internal/core"
 	"eole/internal/prog"
+	"eole/internal/trace"
 	"eole/internal/workload"
 )
 
@@ -75,22 +76,89 @@ func WorkloadNames() []string { return workload.Names() }
 // ("429.mcf") name.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
-// Simulator runs one workload on one machine configuration.
-type Simulator struct {
-	cfg  Config
-	wl   Workload
-	core *core.Core
+// Trace is a recorded µ-op stream (see internal/trace): the committed
+// dynamic stream of one workload, interpreted once and replayable by
+// any number of simulations. Because the cycle-level core consumes the
+// stream strictly in order, a trace-driven simulation produces a
+// byte-identical Report to an execute-driven one for the same
+// (config, workload, warmup, measure).
+type Trace = trace.Trace
+
+// TraceSlack is the fetch-ahead margin a trace must include beyond
+// warmup+measure to guarantee byte-identical replay of that region
+// (re-exported from internal/trace for callers sizing recordings).
+// It covers every named configuration; for a custom Config with an
+// ROB beyond ~2000 entries, size the margin with TraceSlackFor
+// instead.
+const TraceSlack = trace.ReplaySlack
+
+// TraceSlackFor returns the replay margin for cfg: the core's maximum
+// fetch-ahead distance (in-flight window plus fetch queue), floored
+// at TraceSlack. Record warmup+measure+TraceSlackFor(cfg) µ-ops to
+// replay a (warmup, measure) run of cfg exactly.
+func TraceSlackFor(cfg Config) uint64 {
+	return trace.SlackFor(cfg.ROBSize, cfg.FetchQueueSize)
 }
 
-// NewSimulator builds a simulator. It returns an error for invalid
-// configurations.
-func NewSimulator(cfg Config, w Workload) (*Simulator, error) {
+// RecordTrace interprets w functionally for up to n µ-ops and returns
+// the compact recorded stream. To replay a (warmup, measure) run
+// exactly, record warmup+measure+TraceSlack µ-ops.
+func RecordTrace(w Workload, n uint64) *Trace { return trace.Record(w, n) }
+
+// SimOption customizes NewSimulator / Simulate.
+type SimOption func(*simOptions)
+
+type simOptions struct {
+	replay *Trace
+}
+
+// WithReplay makes the simulator pull its µ-op stream from the
+// recorded trace instead of running the functional interpreter. The
+// trace must have been recorded from the same workload and program
+// build; NewSimulator fails otherwise (callers typically fall back to
+// execute-driven simulation). The caller is responsible for the trace
+// being long enough (Trace.CanServe) — a too-short trace ends the
+// simulation early, like a halting workload.
+func WithReplay(t *Trace) SimOption {
+	return func(o *simOptions) { o.replay = t }
+}
+
+// Simulator runs one workload on one machine configuration.
+type Simulator struct {
+	cfg    Config
+	wl     Workload
+	core   *core.Core
+	replay bool
+}
+
+// NewSimulator builds a simulator. By default the µ-op stream comes
+// from the functional interpreter; WithReplay substitutes a recorded
+// trace. It returns an error for invalid configurations or a trace
+// that does not match the workload.
+func NewSimulator(cfg Config, w Workload, opts ...SimOption) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := core.New(cfg, prog.MachineSource{M: w.NewMachine()})
-	return &Simulator{cfg: cfg, wl: w, core: c}, nil
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var src prog.Source
+	if o.replay != nil {
+		rs, err := o.replay.SourceFor(w)
+		if err != nil {
+			return nil, err
+		}
+		src = rs
+	} else {
+		src = prog.MachineSource{M: w.NewMachine()}
+	}
+	return &Simulator{cfg: cfg, wl: w, core: core.New(cfg, src), replay: o.replay != nil}, nil
 }
+
+// TraceDriven reports whether the simulator replays a recorded trace
+// rather than running the functional interpreter.
+func (s *Simulator) TraceDriven() bool { return s.replay }
 
 // Run simulates n committed µ-ops (training predictors and warming
 // caches) and returns the running report.
@@ -243,8 +311,10 @@ func (r *Report) String() string {
 }
 
 // Simulate is the one-call convenience API: warm up, then measure.
-func Simulate(cfg Config, w Workload, warmup, measure uint64) (*Report, error) {
-	sim, err := NewSimulator(cfg, w)
+// Options select the µ-op source (e.g. WithReplay for trace-driven
+// simulation).
+func Simulate(cfg Config, w Workload, warmup, measure uint64, opts ...SimOption) (*Report, error) {
+	sim, err := NewSimulator(cfg, w, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package eole_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -70,4 +72,89 @@ func ExamplePracticalEOLEConfig() {
 	cfg := eole.PracticalEOLEConfig()
 	fmt.Println(cfg.Name, cfg.PRF.Banks, cfg.PRF.LEVTReadPortsPerBank)
 	// Output: EOLE_4_64_4ports_4banks 4 4
+}
+
+// ExampleSimulate runs the one-call API end to end.
+func ExampleSimulate() {
+	cfg, err := eole.NamedConfig("Baseline_VP_6_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("vortex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := eole.Simulate(cfg, w, 5_000, 20_000) // warmup, measured µ-ops
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Config, r.Benchmark, r.Committed >= 20_000, r.IPC > 0)
+	// Output: Baseline_VP_6_64 vortex true true
+}
+
+// ExampleReport_json shows that a Report marshals losslessly: the
+// decoded copy re-marshals to the same bytes, raw counters included,
+// so reports can be cached on disk or served over the wire.
+func ExampleReport_json() {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := eole.Simulate(cfg, w, 5_000, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := json.Marshal(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var decoded eole.Report
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		log.Fatal(err)
+	}
+	again, err := json.Marshal(&decoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bytes.Equal(wire, again), decoded.Raw() == r.Raw())
+	// Output: true true
+}
+
+// ExampleRecordTrace records a workload's µ-op stream once and
+// replays it under two configurations; each replayed run is
+// byte-identical to its execute-driven counterpart.
+func ExampleRecordTrace() {
+	w, err := eole.WorkloadByName("crafty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const warmup, measure = 5_000, 20_000
+	tr := eole.RecordTrace(w, warmup+measure+eole.TraceSlack) // interpret once
+	fmt.Println(tr.Workload, tr.CanServe(warmup+measure+eole.TraceSlack))
+
+	for _, name := range []string{"Baseline_VP_6_64", "EOLE_4_64"} {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replayed, err := eole.Simulate(cfg, w, warmup, measure, eole.WithReplay(tr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		executed, err := eole.Simulate(cfg, w, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, _ := json.Marshal(replayed)
+		b, _ := json.Marshal(executed)
+		fmt.Println(name, bytes.Equal(a, b))
+	}
+	// Output:
+	// crafty true
+	// Baseline_VP_6_64 true
+	// EOLE_4_64 true
 }

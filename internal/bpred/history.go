@@ -1,13 +1,3 @@
-// Package bpred implements the front-end branch prediction stack of
-// the paper's baseline (Table 1): a TAGE conditional predictor with
-// 1 base + 12 tagged components and storage-free confidence estimation
-// (Seznec, HPCA 2011), a 2-way set-associative BTB, and a return
-// address stack.
-//
-// The confidence estimator matters beyond branch prediction: EOLE
-// late-executes "very high confidence" branches (predictions whose
-// confidence counter is saturated), so the classification produced
-// here decides the Late Execution branch offload of Figures 4 and 13.
 package bpred
 
 import "math"

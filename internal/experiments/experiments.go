@@ -36,6 +36,15 @@ type Opts struct {
 	// figure re-runs a baseline column). When nil, each runSet spins
 	// up a private service with Parallelism workers.
 	Service *simsvc.Service
+	// Traces makes a private service (Service == nil) trace-driven:
+	// each workload is interpreted once and replayed for every
+	// configuration of the figure's sweep — results are byte-identical
+	// either way. Ignored when Service is set (configure the shared
+	// service instead).
+	Traces bool
+	// TraceDir persists recorded traces across runs (implies Traces;
+	// ignored when Service is set).
+	TraceDir string
 	// Context cancels in-flight sweeps (nil = background).
 	Context context.Context
 }
@@ -87,7 +96,11 @@ func runSet(o Opts, cfgs []eole.Config) (map[runKey]*eole.Report, error) {
 	svc := o.Service
 	if svc == nil {
 		var err error
-		svc, err = simsvc.New(simsvc.Options{Parallelism: o.Parallelism})
+		svc, err = simsvc.New(simsvc.Options{
+			Parallelism: o.Parallelism,
+			Traces:      o.Traces,
+			TraceDir:    o.TraceDir,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,14 @@ type metrics struct {
 	coalesced   atomic.Uint64
 	simNanos    atomic.Int64
 	simOps      atomic.Uint64
+
+	// Trace-driven simulation (zero when Options.Traces is off).
+	tracesRecorded   atomic.Uint64
+	traceReplays     atomic.Uint64
+	traceFallbacks   atomic.Uint64
+	traceDiskLoads   atomic.Uint64
+	traceLoadErrors  atomic.Uint64
+	traceRecordNanos atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the service counters. All
@@ -51,6 +59,20 @@ type Stats struct {
 	// UopsPerSec is SimulatedOps over summed wall time — per-worker
 	// simulation speed, not aggregate throughput.
 	UopsPerSec float64 `json:"uops_per_sec"`
+
+	// Trace-driven simulation. TracesRecorded counts workload streams
+	// interpreted and encoded; TraceReplays counts simulations served
+	// by replaying one; TraceFallbacks counts simulations that ran
+	// execute-driven although tracing is enabled (request over the
+	// length ceiling, or a stale/unattachable trace); TraceDiskLoads
+	// and TraceLoadErrors account for the spill directory.
+	TracesRecorded  uint64 `json:"traces_recorded"`
+	TraceReplays    uint64 `json:"trace_replays"`
+	TraceFallbacks  uint64 `json:"trace_fallbacks"`
+	TraceDiskLoads  uint64 `json:"trace_disk_loads"`
+	TraceLoadErrors uint64 `json:"trace_load_errors"`
+	// TraceRecordTime is the summed wall time spent recording.
+	TraceRecordTime time.Duration `json:"trace_record_time_ns"`
 }
 
 func (m *metrics) snapshot(cacheSize int) Stats {
@@ -67,6 +89,13 @@ func (m *metrics) snapshot(cacheSize int) Stats {
 		CacheSize:     cacheSize,
 		SimWallTime:   time.Duration(m.simNanos.Load()),
 		SimulatedOps:  m.simOps.Load(),
+
+		TracesRecorded:  m.tracesRecorded.Load(),
+		TraceReplays:    m.traceReplays.Load(),
+		TraceFallbacks:  m.traceFallbacks.Load(),
+		TraceDiskLoads:  m.traceDiskLoads.Load(),
+		TraceLoadErrors: m.traceLoadErrors.Load(),
+		TraceRecordTime: time.Duration(m.traceRecordNanos.Load()),
 	}
 	if secs := s.SimWallTime.Seconds(); secs > 0 {
 		s.UopsPerSec = float64(s.SimulatedOps) / secs

@@ -71,6 +71,29 @@ type Options struct {
 	// reloads them in later processes. The directory is created if
 	// missing.
 	CacheDir string
+
+	// Traces enables trace-driven simulation: the committed µ-op
+	// stream of each workload is recorded once (on the first cache
+	// miss that needs it) and replayed for every configuration, so a
+	// sweep interprets each workload one time instead of once per
+	// config. Replay is byte-identical to execute-driven simulation,
+	// so cached results are unaffected. Recording is single-flight
+	// per workload across concurrent jobs.
+	Traces bool
+	// TraceDir, when set, spills recordings to <dir>/<workload>.trace
+	// and reloads them in later processes (implies Traces). Invalid or
+	// version-mismatched files fall back to execute-driven recording.
+	// The directory is created if missing.
+	TraceDir string
+	// TraceMaxOps bounds the recorded trace length in µ-ops
+	// (0 = 1M). Requests needing longer traces run execute-driven.
+	// The bound is also the store's memory lever: every stored trace
+	// pins its decoded stream (~90 bytes/µ-op) for the process
+	// lifetime, so the worst case is TraceMaxOps × ~90B × the number
+	// of distinct workloads (all 19 at the 1M default ≈ 1.7GB; the
+	// default server run lengths stay under 512K µ-ops ≈ 45MB per
+	// workload).
+	TraceMaxOps uint64
 }
 
 // Job is the handle for one submitted request. Wait blocks for the
@@ -167,9 +190,10 @@ type task struct {
 // Service runs simulations through a bounded worker pool with
 // content-addressed caching. Create with New, release with Close.
 type Service struct {
-	opts  Options
-	cache *resultCache
-	m     metrics
+	opts   Options
+	cache  *resultCache
+	traces *traceStore // nil when trace-driven simulation is disabled
+	m      metrics
 
 	ctx    context.Context // canceled on Close: workers abandon queued work
 	cancel context.CancelFunc
@@ -199,6 +223,15 @@ func New(opts Options) (*Service, error) {
 			return nil, fmt.Errorf("simsvc: cache dir: %w", err)
 		}
 	}
+	if opts.TraceMaxOps == 0 {
+		opts.TraceMaxOps = 1 << 20
+	}
+	if opts.TraceDir != "" {
+		opts.Traces = true
+		if err := ensureDir(opts.TraceDir); err != nil {
+			return nil, fmt.Errorf("simsvc: trace dir: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		opts:     opts,
@@ -207,6 +240,9 @@ func New(opts Options) (*Service, error) {
 		cancel:   cancel,
 		queue:    make(chan *task, opts.QueueDepth),
 		inflight: make(map[Key]*task),
+	}
+	if opts.Traces {
+		s.traces = newTraceStore(opts.TraceDir, opts.TraceMaxOps, &s.m)
 	}
 	for i := 0; i < opts.Parallelism; i++ {
 		s.wg.Add(1)
@@ -482,10 +518,29 @@ func (s *Service) simulate(req Request) (*eole.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the trace before starting the simulation clock: recording
+	// (or waiting on another job's single-flight recording) is
+	// accounted separately in TraceRecordTime, not in SimWallTime.
+	t := s.traceSource(w, req)
 	start := time.Now()
-	r, err := eole.Simulate(req.Config, w, req.Warmup, req.Measure)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", req.Config.Name, req.Workload, err)
+	var r *eole.Report
+	if t != nil {
+		// Trace-driven: replay the recorded stream. Byte-identical to
+		// execute-driven by construction; a trace that fails to attach
+		// (e.g. recorded against an older program build) falls back.
+		r, err = eole.Simulate(req.Config, w, req.Warmup, req.Measure, eole.WithReplay(t))
+		if err == nil {
+			s.m.traceReplays.Add(1)
+		} else {
+			s.m.traceFallbacks.Add(1)
+			r = nil
+		}
+	}
+	if r == nil {
+		r, err = eole.Simulate(req.Config, w, req.Warmup, req.Measure)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", req.Config.Name, req.Workload, err)
+		}
 	}
 	s.m.simsRun.Add(1)
 	s.m.simNanos.Add(int64(time.Since(start)))

@@ -1,0 +1,247 @@
+package simsvc
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"eole/internal/trace"
+	"eole/internal/workload"
+)
+
+// traceStore holds one recorded µ-op trace per workload and hands out
+// replay-ready traces to the simulation workers: record-on-miss,
+// replay-on-hit, with single-flight recording so concurrent sweep jobs
+// over the same workload share one interpretation.
+//
+// Traces are keyed by workload only — the stream is configuration-
+// independent, which is the whole point: a (configs × workloads) sweep
+// interprets each workload once instead of once per cell. A stored
+// trace serves any request it is long enough for (Trace.CanServe);
+// a longer request triggers a longer re-recording that replaces the
+// shorter one.
+//
+// With a directory configured, recordings spill to <dir>/<short>.trace
+// and are reloaded by later processes. Corrupted, truncated or
+// version-mismatched files are ignored (counted in the service
+// metrics) and overwritten by a fresh recording — the caller falls
+// back to execute-driven recording, never to a wrong stream.
+type traceStore struct {
+	dir    string // "" = memory only
+	maxOps uint64 // requests needing more µ-ops fall back to execute-driven
+	m      *metrics
+
+	mu  sync.Mutex
+	mem map[string]*trace.Trace // workload short name -> longest trace
+	rec map[string]*recording   // in-flight recordings (single-flight)
+}
+
+// recording is one in-flight trace recording; waiters block on done.
+type recording struct {
+	done chan struct{}
+	t    *trace.Trace
+	err  error
+}
+
+func newTraceStore(dir string, maxOps uint64, m *metrics) *traceStore {
+	return &traceStore{
+		dir:    dir,
+		maxOps: maxOps,
+		m:      m,
+		mem:    make(map[string]*trace.Trace),
+		rec:    make(map[string]*recording),
+	}
+}
+
+// roundUpOps pads a needed trace length to the next power of two (at
+// least 64K µ-ops), so a server receiving a spread of run lengths
+// records O(log n) trace generations per workload instead of one per
+// distinct (warmup, measure) pair.
+func roundUpOps(need uint64) uint64 {
+	const floor = 1 << 16
+	if need <= floor {
+		return floor
+	}
+	return 1 << bits.Len64(need-1)
+}
+
+// traceFor returns a trace able to serve a run that fetches up to
+// need µ-ops of w, recording one if necessary. It returns an error
+// when need exceeds the store's ceiling (the caller simulates
+// execute-driven) — never a too-short trace.
+func (ts *traceStore) traceFor(w workload.Workload, need uint64) (*trace.Trace, error) {
+	if ts.maxOps > 0 && need > ts.maxOps {
+		return nil, fmt.Errorf("simsvc: trace of %d µ-ops exceeds ceiling %d", need, ts.maxOps)
+	}
+	for {
+		ts.mu.Lock()
+		if t := ts.mem[w.Short]; t != nil && t.CanServe(need) {
+			ts.mu.Unlock()
+			return t, nil
+		}
+		if r := ts.rec[w.Short]; r != nil {
+			ts.mu.Unlock()
+			<-r.done
+			if r.err != nil {
+				return nil, r.err
+			}
+			// The finished recording may still be shorter than this
+			// request needs; loop to re-check and possibly re-record.
+			continue
+		}
+		r := &recording{done: make(chan struct{})}
+		ts.rec[w.Short] = r
+		ts.mu.Unlock()
+
+		r.t, r.err = ts.record(w, need)
+		ts.mu.Lock()
+		if r.err == nil {
+			if old := ts.mem[w.Short]; old == nil || r.t.CanServe(old.Count) {
+				ts.mem[w.Short] = r.t
+			}
+		}
+		delete(ts.rec, w.Short)
+		ts.mu.Unlock()
+		close(r.done)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.t.CanServe(need) {
+			return r.t, nil
+		}
+	}
+}
+
+// record loads a long-enough trace from the spill directory or records
+// a fresh one (and spills it). Called outside the store lock — both
+// paths are expensive.
+func (ts *traceStore) record(w workload.Workload, need uint64) (*trace.Trace, error) {
+	if t := ts.loadDisk(w, need); t != nil {
+		return t, nil
+	}
+	n := roundUpOps(need)
+	if ts.maxOps > 0 && n > ts.maxOps {
+		n = ts.maxOps
+	}
+	start := time.Now()
+	t := trace.Record(w, n)
+	ts.m.tracesRecorded.Add(1)
+	ts.m.traceRecordNanos.Add(int64(time.Since(start)))
+	ts.spillDisk(t)
+	return t, nil
+}
+
+// loadDisk returns the spilled trace for w if it exists, validates,
+// matches the workload's current program and is long enough; any
+// failure is a miss (the fresh recording overwrites the file).
+func (ts *traceStore) loadDisk(w workload.Workload, need uint64) *trace.Trace {
+	if ts.dir == "" {
+		return nil
+	}
+	path := trace.Path(ts.dir, w.Short)
+	if _, err := os.Stat(path); err != nil {
+		return nil // never spilled; not a load error
+	}
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		// Corrupt, truncated or version-mismatched spill: fall back to
+		// execute-driven recording.
+		ts.m.traceLoadErrors.Add(1)
+		return nil
+	}
+	if !t.CanServe(need) {
+		return nil
+	}
+	if _, err := t.SourceFor(w); err != nil {
+		// Program changed since the trace was recorded.
+		ts.m.traceLoadErrors.Add(1)
+		return nil
+	}
+	ts.m.traceDiskLoads.Add(1)
+	return t
+}
+
+// spillDisk persists a recording, best-effort (a read-only or full
+// directory degrades the store to memory-only).
+func (ts *traceStore) spillDisk(t *trace.Trace) {
+	if ts.dir == "" {
+		return
+	}
+	_ = trace.WriteFile(trace.Path(ts.dir, t.Workload), t)
+}
+
+// TraceInfo describes one stored trace (the /v1/traces wire form).
+type TraceInfo struct {
+	Workload string `json:"workload"`
+	Uops     uint64 `json:"uops"`
+	Bytes    int    `json:"bytes"`
+	Complete bool   `json:"complete"`
+}
+
+// infos snapshots the in-memory store, sorted by workload.
+func (ts *traceStore) infos() []TraceInfo {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceInfo, 0, len(ts.mem))
+	for _, t := range ts.mem {
+		out = append(out, TraceInfo{
+			Workload: t.Workload,
+			Uops:     t.Count,
+			Bytes:    t.SizeBytes(),
+			Complete: t.Complete,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// Traces lists the traces currently held in memory, sorted by
+// workload. Empty when trace-driven simulation is disabled.
+func (s *Service) Traces() []TraceInfo {
+	if s.traces == nil {
+		return []TraceInfo{}
+	}
+	return s.traces.infos()
+}
+
+// TracesEnabled reports whether the service replays recorded traces.
+func (s *Service) TracesEnabled() bool { return s.traces != nil }
+
+// replayNeed is the trace length required to guarantee byte-identical
+// replay of one request. The fetch-ahead margin is sized from the
+// request's own configuration (a custom machine with a huge ROB
+// fetches further ahead of commit than the Table 1 machines), so an
+// undersized trace can never be replayed silently. Overflow-safe:
+// returns 0 on overflow, which makes the caller fall back to
+// execute-driven simulation.
+func replayNeed(req Request) uint64 {
+	slack := trace.SlackFor(req.Config.ROBSize, req.Config.FetchQueueSize)
+	total := req.Warmup + req.Measure
+	if total < req.Warmup || total+slack < total {
+		return 0
+	}
+	return total + slack
+}
+
+// traceSource resolves a replay trace for req, or nil to simulate
+// execute-driven (trace disabled, request over the ceiling, or a
+// recording problem — all counted as fallbacks except plain disabled).
+func (s *Service) traceSource(w workload.Workload, req Request) *trace.Trace {
+	if s.traces == nil {
+		return nil
+	}
+	need := replayNeed(req)
+	if need == 0 {
+		s.m.traceFallbacks.Add(1)
+		return nil
+	}
+	t, err := s.traces.traceFor(w, need)
+	if err != nil {
+		s.m.traceFallbacks.Add(1)
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,320 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"eole"
+	"eole/internal/trace"
+	"eole/internal/workload"
+)
+
+// fixCRC rewrites the trailing CRC-32 of a raw trace file so that a
+// deliberate header mutation is not (also) rejected as corruption.
+func fixCRC(raw []byte) {
+	body := raw[:len(raw)-4]
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(body))
+}
+
+func newTraceService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	opts.Traces = true
+	svc, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func submitWait(t *testing.T, svc *Service, req Request) *eole.Report {
+	t.Helper()
+	j, err := svc.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustConfig(t *testing.T, name string) eole.Config {
+	t.Helper()
+	cfg, err := eole.NamedConfig(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestTraceSweepRecordsOncePerWorkload runs a (4 configs × 2
+// workloads) sweep and checks the core promise: one recording per
+// workload, every simulation a replay, and results identical to an
+// execute-driven service.
+func TestTraceSweepRecordsOncePerWorkload(t *testing.T) {
+	svc := newTraceService(t, Options{Parallelism: 4})
+	plain, err := New(Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	cfgs := []eole.Config{
+		mustConfig(t, "Baseline_6_64"),
+		mustConfig(t, "Baseline_VP_6_64"),
+		mustConfig(t, "EOLE_6_64"),
+		mustConfig(t, "EOLE_4_64"),
+	}
+	reqs := Cross(cfgs, []string{"gzip", "crafty"}, 2_000, 8_000)
+
+	sweep, err := svc.SubmitSweep(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sweep.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.TracesRecorded != 2 {
+		t.Errorf("recorded %d traces, want 2 (one per workload)", st.TracesRecorded)
+	}
+	if st.TraceReplays != uint64(len(reqs)) {
+		t.Errorf("replays %d, want %d (every simulation trace-driven)", st.TraceReplays, len(reqs))
+	}
+	if st.TraceFallbacks != 0 {
+		t.Errorf("unexpected fallbacks: %d", st.TraceFallbacks)
+	}
+
+	// Byte-identical to an execute-driven service.
+	for i, req := range reqs {
+		want := submitWait(t, plain, req)
+		bw, _ := json.Marshal(want)
+		bg, _ := json.Marshal(got[i])
+		if !bytes.Equal(bw, bg) {
+			t.Errorf("%s on %s: trace-driven report differs from execute-driven",
+				req.Config.Name, req.Workload)
+		}
+	}
+
+	infos := svc.Traces()
+	if len(infos) != 2 || infos[0].Workload != "crafty" || infos[1].Workload != "gzip" {
+		t.Errorf("trace listing wrong: %+v", infos)
+	}
+	for _, in := range infos {
+		if in.Uops < 2_000+8_000+trace.ReplaySlack {
+			t.Errorf("%s: trace of %d µ-ops too short for the request", in.Workload, in.Uops)
+		}
+	}
+}
+
+// TestTraceRecordingSingleFlight launches many concurrent jobs that
+// all need the same workload trace and checks only one recording
+// happens.
+func TestTraceRecordingSingleFlight(t *testing.T) {
+	svc := newTraceService(t, Options{Parallelism: 8})
+	cfgNames := []string{
+		"Baseline_6_64", "Baseline_VP_6_64", "Baseline_VP_4_64", "Baseline_VP_6_48",
+		"EOLE_6_64", "EOLE_4_64", "OLE_4_64", "EOE_4_64",
+	}
+	var wg sync.WaitGroup
+	for _, name := range cfgNames {
+		cfg := mustConfig(t, name)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, err := svc.Submit(context.Background(), Request{Config: cfg, Workload: "vortex", Warmup: 1_000, Measure: 5_000})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := j.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.TracesRecorded != 1 {
+		t.Errorf("recorded %d traces for one workload, want 1 (single-flight)", st.TracesRecorded)
+	}
+	if st.TraceReplays == 0 {
+		t.Error("no replays recorded")
+	}
+}
+
+// TestTraceGrowsForLongerRequest checks that a request longer than the
+// stored trace triggers a longer re-recording rather than a wrong
+// (short) replay.
+func TestTraceGrowsForLongerRequest(t *testing.T) {
+	svc := newTraceService(t, Options{Parallelism: 2})
+	cfg := mustConfig(t, "EOLE_4_64")
+	submitWait(t, svc, Request{Config: cfg, Workload: "gzip", Warmup: 1_000, Measure: 4_000})
+	first := svc.Traces()[0].Uops
+	// 80k+80k exceeds the 2^17 rounding bucket of the first request.
+	r := submitWait(t, svc, Request{Config: cfg, Workload: "gzip", Warmup: 80_000, Measure: 80_000})
+	if r.Committed < 80_000 {
+		t.Fatalf("long request committed %d", r.Committed)
+	}
+	st := svc.Stats()
+	if st.TracesRecorded != 2 {
+		t.Errorf("recorded %d traces, want 2 (short then long)", st.TracesRecorded)
+	}
+	second := svc.Traces()[0].Uops
+	if second <= first {
+		t.Errorf("trace did not grow: %d -> %d", first, second)
+	}
+	if st.TraceFallbacks != 0 {
+		t.Errorf("unexpected fallbacks: %d", st.TraceFallbacks)
+	}
+}
+
+// TestTraceOverCeilingFallsBack checks that requests longer than
+// TraceMaxOps run execute-driven instead of failing.
+func TestTraceOverCeilingFallsBack(t *testing.T) {
+	svc := newTraceService(t, Options{Parallelism: 2, TraceMaxOps: 10_000})
+	cfg := mustConfig(t, "Baseline_6_64")
+	r := submitWait(t, svc, Request{Config: cfg, Workload: "gzip", Warmup: 5_000, Measure: 20_000})
+	if r.Committed < 20_000 {
+		t.Fatalf("committed %d", r.Committed)
+	}
+	st := svc.Stats()
+	if st.TraceFallbacks != 1 || st.TraceReplays != 0 || st.TracesRecorded != 0 {
+		t.Errorf("fallbacks=%d replays=%d recorded=%d, want 1/0/0",
+			st.TraceFallbacks, st.TraceReplays, st.TracesRecorded)
+	}
+}
+
+// TestTraceDirPersistsAcrossServices records through one service and
+// checks a second service replays from the spilled file without
+// re-recording.
+func TestTraceDirPersistsAcrossServices(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Config: mustConfig(t, "EOLE_4_64"), Workload: "crafty", Warmup: 1_000, Measure: 4_000}
+
+	a := newTraceService(t, Options{Parallelism: 2, TraceDir: dir})
+	want := submitWait(t, a, req)
+	if st := a.Stats(); st.TracesRecorded != 1 {
+		t.Fatalf("first service recorded %d traces", st.TracesRecorded)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crafty.trace")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	b := newTraceService(t, Options{Parallelism: 2, TraceDir: dir})
+	got := submitWait(t, b, req)
+	st := b.Stats()
+	if st.TracesRecorded != 0 || st.TraceDiskLoads != 1 || st.TraceReplays != 1 {
+		t.Errorf("second service recorded=%d diskLoads=%d replays=%d, want 0/1/1",
+			st.TracesRecorded, st.TraceDiskLoads, st.TraceReplays)
+	}
+	bw, _ := json.Marshal(want)
+	bg, _ := json.Marshal(got)
+	if !bytes.Equal(bw, bg) {
+		t.Error("disk-replayed report differs")
+	}
+}
+
+// TestCorruptTraceFileFallsBack corrupts the spilled trace and checks
+// the next service ignores it, re-records, and still returns correct
+// results.
+func TestCorruptTraceFileFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Config: mustConfig(t, "Baseline_6_64"), Workload: "gzip", Warmup: 1_000, Measure: 4_000}
+
+	a := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	want := submitWait(t, a, req)
+
+	path := filepath.Join(dir, "gzip.trace")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	got := submitWait(t, c, req)
+	st := c.Stats()
+	if st.TraceLoadErrors != 1 {
+		t.Errorf("load errors %d, want 1", st.TraceLoadErrors)
+	}
+	if st.TracesRecorded != 1 || st.TraceReplays != 1 {
+		t.Errorf("recorded=%d replays=%d, want 1/1 (re-record after corrupt load)",
+			st.TracesRecorded, st.TraceReplays)
+	}
+	bw, _ := json.Marshal(want)
+	bg, _ := json.Marshal(got)
+	if !bytes.Equal(bw, bg) {
+		t.Error("report differs after corrupt-trace recovery")
+	}
+	// The re-recording must have replaced the corrupt file.
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		if _, err := trace.Read(f); err != nil {
+			t.Errorf("spill not repaired: %v", err)
+		}
+	} else {
+		t.Errorf("spill file missing after repair: %v", err)
+	}
+}
+
+// TestVersionMismatchedTraceFallsBack writes a trace with a bumped
+// format version and checks the service treats it as a miss.
+func TestVersionMismatchedTraceFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Record(w, 64_000+uint64(trace.ReplaySlack))
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4]++ // version uvarint sits after the 4-byte magic
+	// Fix the checksum so ONLY the version differs.
+	fixCRC(raw)
+	if err := os.WriteFile(filepath.Join(dir, "gzip.trace"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	r := submitWait(t, svc, Request{Config: mustConfig(t, "Baseline_6_64"), Workload: "gzip", Warmup: 1_000, Measure: 4_000})
+	if r.Committed < 4_000 {
+		t.Fatalf("committed %d", r.Committed)
+	}
+	st := svc.Stats()
+	if st.TraceLoadErrors != 1 || st.TracesRecorded != 1 {
+		t.Errorf("loadErrors=%d recorded=%d, want 1/1 (version mismatch is a miss)",
+			st.TraceLoadErrors, st.TracesRecorded)
+	}
+}
+
+// TestRoundUpOps pins the trace length bucketing.
+func TestRoundUpOps(t *testing.T) {
+	cases := []struct{ need, want uint64 }{
+		{1, 1 << 16},
+		{1 << 16, 1 << 16},
+		{1<<16 + 1, 1 << 17},
+		{200_000, 1 << 18},
+		{1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		if got := roundUpOps(c.need); got != c.want {
+			t.Errorf("roundUpOps(%d) = %d, want %d", c.need, got, c.want)
+		}
+	}
+}

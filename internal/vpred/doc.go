@@ -1,0 +1,17 @@
+// Package vpred implements the value prediction stack of the paper:
+// the computational predictors (last value, stride, 2-delta stride),
+// the context-based predictors (order-k FCM and VTAGE), the
+// VTAGE-2DStride hybrid used throughout the evaluation (Table 2), and
+// Forward Probabilistic Counters (FPC) for confidence estimation
+// (§4.2).
+//
+// FPC is the enabling mechanism for the whole paper: it pushes value
+// misprediction rates low enough that validation can move to commit
+// time and recovery can be a full pipeline squash, which in turn is
+// what allows Early and Late Execution to bypass the OoO engine.
+//
+// Predictors implement the Predictor interface (Lookup / Train /
+// PushBranch); NewByName resolves the names used by
+// config.Config.PredictorName, and the experiments harness sweeps
+// them for the Figure 5/6 predictor comparison.
+package vpred

@@ -1,13 +1,3 @@
-// Package vpred implements the value prediction stack of the paper:
-// the computational predictors (last value, stride, 2-delta stride),
-// the context-based predictors (order-k FCM and VTAGE), the
-// VTAGE-2DStride hybrid used throughout the evaluation (Table 2), and
-// Forward Probabilistic Counters (FPC) for confidence estimation.
-//
-// FPC is the enabling mechanism for the whole paper: it pushes value
-// misprediction rates low enough that validation can move to commit
-// time and recovery can be a full pipeline squash, which in turn is
-// what allows Early and Late Execution to bypass the OoO engine.
 package vpred
 
 // FPCVector is the vector of inverse forward-transition probabilities

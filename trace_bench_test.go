@@ -1,0 +1,138 @@
+package eole_test
+
+import (
+	"testing"
+
+	"eole"
+	"eole/internal/prog"
+)
+
+// sweepConfigs is the config set every figure-style sweep re-runs per
+// workload; the benchmarks below compare interpreting the workload
+// once per config (execute-driven) against interpreting it once and
+// replaying the recorded stream (trace-driven).
+var sweepConfigs = []string{
+	"Baseline_6_64", "Baseline_VP_6_64", "EOLE_6_64",
+	"EOLE_4_64", "OLE_4_64", "EOE_4_64",
+}
+
+const (
+	sweepWorkload = "namd"
+	sweepWarmup   = 10_000
+	sweepMeasure  = 40_000
+)
+
+func sweepOnce(b *testing.B, opts ...eole.SimOption) {
+	b.Helper()
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range sweepConfigs {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eole.Simulate(cfg, w, sweepWarmup, sweepMeasure, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepExecuteDriven runs a 6-config sweep of one workload
+// with the functional interpreter re-executed for every config.
+func BenchmarkSweepExecuteDriven(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b)
+	}
+	b.ReportMetric(float64(len(sweepConfigs)), "configs")
+}
+
+// BenchmarkSweepTraceDriven is the steady-state sweep the trace store
+// serves: the workload was recorded once (outside the measured loop)
+// and every config replays the shared stream.
+func BenchmarkSweepTraceDriven(b *testing.B) {
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := eole.RecordTrace(w, sweepWarmup+sweepMeasure+eole.TraceSlack)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, eole.WithReplay(tr))
+	}
+	b.ReportMetric(float64(len(sweepConfigs)), "configs")
+}
+
+// BenchmarkSweepTraceDrivenCold includes the one-time recording in
+// every iteration — the first sweep after a cache-cold start.
+func BenchmarkSweepTraceDrivenCold(b *testing.B) {
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tr := eole.RecordTrace(w, sweepWarmup+sweepMeasure+eole.TraceSlack)
+		sweepOnce(b, eole.WithReplay(tr))
+	}
+	b.ReportMetric(float64(len(sweepConfigs)), "configs")
+}
+
+// BenchmarkRecordTrace isolates the one-time recording cost.
+func BenchmarkRecordTrace(b *testing.B) {
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint64(sweepWarmup + sweepMeasure + eole.TraceSlack)
+	for i := 0; i < b.N; i++ {
+		tr := eole.RecordTrace(w, n)
+		if tr.Count != n {
+			b.Fatal("short recording")
+		}
+	}
+	b.SetBytes(int64(n))
+}
+
+// BenchmarkSourceExecute and BenchmarkSourceReplay compare the raw
+// per-µ-op cost of the two stream sources, outside the timing model.
+func BenchmarkSourceExecute(b *testing.B) {
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	var u prog.MicroOp
+	for i := 0; i < b.N; i++ {
+		src := prog.MachineSource{M: w.NewMachine()}
+		for j := 0; j < n; j++ {
+			if !src.Next(&u) {
+				b.Fatal("machine exhausted")
+			}
+		}
+	}
+	b.SetBytes(n)
+}
+
+func BenchmarkSourceReplay(b *testing.B) {
+	w, err := eole.WorkloadByName(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	tr := eole.RecordTrace(w, n)
+	b.ResetTimer()
+	var u prog.MicroOp
+	for i := 0; i < b.N; i++ {
+		src, err := tr.NewSource()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if !src.Next(&u) {
+				b.Fatal("replay exhausted")
+			}
+		}
+	}
+	b.SetBytes(n)
+}

@@ -1,0 +1,106 @@
+package eole_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"eole"
+)
+
+// TestTraceReplayByteIdenticalReports is the correctness bar of the
+// trace subsystem: for every named configuration, a trace-driven run
+// must produce a byte-identical Report (including the raw counter
+// set) to the execute-driven run of the same (config, workload,
+// warmup, measure). The core pulls µ-ops from its source strictly in
+// program order, so equality of the source stream implies equality of
+// the whole simulation.
+func TestTraceReplayByteIdenticalReports(t *testing.T) {
+	const (
+		warmup  = 3_000
+		measure = 12_000
+	)
+	workloads := []string{"gzip", "mcf", "namd", "hmmer"}
+	for _, wlName := range workloads {
+		w, err := eole.WorkloadByName(wlName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := eole.RecordTrace(w, warmup+measure+eole.TraceSlack)
+		for _, cfgName := range eole.ConfigNames() {
+			t.Run(wlName+"/"+cfgName, func(t *testing.T) {
+				cfg, err := eole.NamedConfig(cfgName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec, err := eole.Simulate(cfg, w, warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay, err := eole.Simulate(cfg, w, warmup, measure, eole.WithReplay(tr))
+				if err != nil {
+					t.Fatal(err)
+				}
+				be, err := json.Marshal(exec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				br, err := json.Marshal(replay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(be, br) {
+					t.Errorf("trace-driven report differs from execute-driven:\nexec:   %s\nreplay: %s", be, br)
+				}
+			})
+		}
+	}
+}
+
+// TestWithReplayRejectsWrongWorkload checks that NewSimulator refuses
+// a trace recorded from a different workload instead of silently
+// simulating the wrong stream.
+func TestWithReplayRejectsWrongWorkload(t *testing.T) {
+	wa, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := eole.WorkloadByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eole.RecordTrace(wa, 1_000)
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eole.NewSimulator(cfg, wb, eole.WithReplay(tr)); err == nil {
+		t.Fatal("NewSimulator accepted a trace from another workload")
+	}
+}
+
+// TestTraceDriven checks the source-selection reporting.
+func TestTraceDriven(t *testing.T) {
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := eole.NamedConfig("Baseline_6_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := eole.NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TraceDriven() {
+		t.Fatal("default simulator reports trace-driven")
+	}
+	sim, err = eole.NewSimulator(cfg, w, eole.WithReplay(eole.RecordTrace(w, 1_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TraceDriven() {
+		t.Fatal("replay simulator reports execute-driven")
+	}
+}
