@@ -13,16 +13,29 @@
 // Endpoints (all JSON):
 //
 //	POST /v1/simulate   {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
-//	POST /v1/sweep      {"configs":[...],"workloads":[...],"warmup":...,"measure":...}
+//	POST /v1/sweep      {"configs":[...],"grid":{...},"workloads":[...],"warmup":...,"measure":...}
 //	GET  /v1/configs    named machine configurations
 //	GET  /v1/workloads  the 19 benchmarks
 //	GET  /v1/traces     recorded µ-op traces (workload, length, bytes)
 //	GET  /v1/stats      service counters (sims run, cache hits, trace replays, µ-ops/s)
 //
+// Configurations are first-class values: wherever a request takes a
+// config name it also takes an inline Config object, validated and
+// cached by its canonical fingerprint — an inline config
+// field-identical to a named one shares its cache entry. /v1/sweep
+// additionally accepts a design-space grid ({"base_name":"EOLE_4_64",
+// "axes":[{"option":"PRFBanks","values":[2,4,8]}]}) that the server
+// cartesian-expands into validated configs. Disconnecting a client
+// cancels its jobs: queued ones are dropped, and a running simulation
+// whose waiters are all gone is abandoned at the core's next
+// cancellation checkpoint.
+//
 // Example:
 //
 //	eoled -addr :8080 -cache-dir /var/cache/eole -trace-dir /var/cache/eole-traces &
 //	curl -s localhost:8080/v1/simulate -d '{"config":"EOLE_4_64","workload":"namd"}'
+//	curl -s localhost:8080/v1/simulate -d '{"config":{"IssueWidth":5,...},"workload":"namd"}'
+//	curl -s localhost:8080/v1/sweep -d '{"grid":{"base_name":"EOLE_4_64","axes":[{"option":"PRFBanks","values":[2,4,8]}]},"workloads":["namd"]}'
 package main
 
 import (

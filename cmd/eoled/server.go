@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -51,23 +52,89 @@ func newServer(svc *simsvc.Service, defaultWarmup, defaultMeasure, maxUops uint6
 	return mux
 }
 
-// simulateRequest is the wire form of one simulation ask. Config is a
-// named configuration; Warmup/Measure default to the server's run
-// lengths when zero.
-type simulateRequest struct {
-	Config   string `json:"config"`
-	Workload string `json:"workload"`
-	Warmup   uint64 `json:"warmup,omitempty"`
-	Measure  uint64 `json:"measure,omitempty"`
+// configRef is the wire form of one configuration: either a named
+// configuration ("EOLE_4_64") or an inline Config object. Inline
+// configs are first-class — they are validated, labeled by
+// Config.Label (the Name field if set, else a fingerprint-derived
+// "custom-…" label) and cached by fingerprint, so an inline config
+// field-identical to a named one shares its cache entry.
+type configRef struct {
+	name   string
+	inline *eole.Config
 }
 
-// sweepRequest asks for the full (configs × workloads) grid. Empty
-// Configs or Workloads mean "all named ones".
+// namedRef references a configuration by name; inlineRef embeds a
+// config object.
+func namedRef(name string) configRef      { return configRef{name: name} }
+func inlineRef(cfg eole.Config) configRef { return configRef{inline: &cfg} }
+
+// MarshalJSON is the inverse of UnmarshalJSON (a name encodes as a
+// string, an inline config as an object), so request types containing
+// configRef round-trip — clients can build them with this package's
+// types in tests.
+func (c configRef) MarshalJSON() ([]byte, error) {
+	if c.inline != nil {
+		return json.Marshal(c.inline)
+	}
+	return json.Marshal(c.name)
+}
+
+func (c *configRef) UnmarshalJSON(b []byte) error {
+	b = bytes.TrimSpace(b)
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &c.name)
+	}
+	// Strict decode: the documented workflow is "dump a config,
+	// hand-edit, post" — a misspelled field name must be an error, not
+	// a silently different machine.
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var cfg eole.Config
+	if err := dec.Decode(&cfg); err != nil {
+		return fmt.Errorf("inline config: %w", err)
+	}
+	c.inline = &cfg
+	return nil
+}
+
+// resolve returns the referenced configuration, normalized (LE width
+// defaulting, so an inline config matches its builder twin) and
+// validated.
+func (c configRef) resolve() (eole.Config, error) {
+	switch {
+	case c.inline != nil:
+		cfg := c.inline.Normalized()
+		if err := cfg.Validate(); err != nil {
+			return eole.Config{}, err
+		}
+		return cfg, nil
+	case c.name != "":
+		return eole.NamedConfig(c.name)
+	}
+	return eole.Config{}, errors.New("request names no config (use a config name or an inline config object)")
+}
+
+// simulateRequest is the wire form of one simulation ask. Config is a
+// named configuration or an inline config object; Warmup/Measure
+// default to the server's run lengths when zero.
+type simulateRequest struct {
+	Config   configRef `json:"config"`
+	Workload string    `json:"workload"`
+	Warmup   uint64    `json:"warmup,omitempty"`
+	Measure  uint64    `json:"measure,omitempty"`
+}
+
+// sweepRequest asks for a (configs × workloads) sweep. Configs mixes
+// named configurations and inline config objects; Grid additionally
+// cartesian-expands design-space axes ({"option": "PRFBanks",
+// "values": [2,4,8]}) from a base config. Empty Configs and no Grid
+// means "all named configs"; empty Workloads means "all benchmarks".
 type sweepRequest struct {
-	Configs   []string `json:"configs"`
-	Workloads []string `json:"workloads"`
-	Warmup    uint64   `json:"warmup,omitempty"`
-	Measure   uint64   `json:"measure,omitempty"`
+	Configs   []configRef `json:"configs"`
+	Grid      *eole.Grid  `json:"grid,omitempty"`
+	Workloads []string    `json:"workloads"`
+	Warmup    uint64      `json:"warmup,omitempty"`
+	Measure   uint64      `json:"measure,omitempty"`
 }
 
 // sweepResult is one cell of the grid; exactly one of Report/Error is
@@ -88,9 +155,18 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// decodeStrict decodes a size-capped request body, rejecting unknown
+// fields: a misspelled field in a hand-written request must be an
+// error, not a silently different simulation.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -109,48 +185,58 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, relabel(report, sreq.Config.Name))
+	writeJSON(w, http.StatusOK, relabel(report, sreq.Config.Label()))
 }
 
-// relabel returns the report labeled with the requested config name.
-// Content-addressed caching ignores display names, so a request can be
-// satisfied by a simulation submitted under an identically-
-// parameterized config with a different name.
-func relabel(r *eole.Report, cfgName string) *eole.Report {
-	if r == nil || r.Config == cfgName {
+// relabel returns the report labeled with the requested config's
+// label. Content-addressed caching keys on Config.Fingerprint and
+// ignores display names, so a request can be satisfied by a
+// simulation submitted under an identically-parameterized config with
+// a different name (or none).
+func relabel(r *eole.Report, label string) *eole.Report {
+	if r == nil || r.Config == label {
 		return r
 	}
 	cp := *r
-	cp.Config = cfgName
+	cp.Config = label
 	return &cp
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
-	}
-	if len(req.Configs) == 0 {
-		req.Configs = eole.ConfigNames()
 	}
 	if len(req.Workloads) == 0 {
 		req.Workloads = eole.WorkloadNames()
 	}
-	if cells := len(req.Configs) * len(req.Workloads); cells > maxSweepCells {
+	// Enforce the cell budget on cheap counts — list lengths and the
+	// grid's axis product — before resolving or expanding a single
+	// config, so an oversized request is rejected without burning CPU
+	// on tens of thousands of name resolutions.
+	total := len(req.Configs)
+	if req.Grid != nil {
+		gsize := req.Grid.Size() // saturates instead of wrapping
+		if gsize > maxSweepCells || total > maxSweepCells-gsize {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("sweep of %d configs plus a %d-cell grid exceeds the %d-config limit", total, gsize, maxSweepCells))
+			return
+		}
+		total += gsize
+	}
+	if total == 0 {
+		total = len(eole.ConfigNames())
+	}
+	if cells := total * len(req.Workloads); cells > maxSweepCells {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("sweep grid of %d cells exceeds limit %d", cells, maxSweepCells))
 		return
 	}
-	// Resolve names and run lengths once, then expand the grid.
-	cfgs := make([]eole.Config, len(req.Configs))
-	for i, name := range req.Configs {
-		cfg, err := eole.NamedConfig(name)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		cfgs[i] = cfg
+	cfgs, err := s.sweepConfigs(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	for _, wl := range req.Workloads {
 		if _, err := eole.WorkloadByName(wl); err != nil {
@@ -172,19 +258,59 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp := sweepResponse{Results: make([]sweepResult, len(sweep.Jobs))}
 	for i, job := range sweep.Jobs {
 		report, err := job.Wait(r.Context())
+		label := reqs[i].Config.Label()
 		res := sweepResult{
-			Config:   reqs[i].Config.Name,
+			Config:   label,
 			Workload: reqs[i].Workload,
 			Cached:   job.Cached(),
 		}
 		if err != nil {
 			res.Error = err.Error()
 		} else {
-			res.Report = relabel(report, reqs[i].Config.Name)
+			res.Report = relabel(report, label)
 		}
 		resp.Results[i] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepConfigs expands a sweep request's config list: named and
+// inline refs, plus the cartesian expansion of the grid axes. With
+// neither refs nor a grid the sweep covers every named configuration.
+func (s *server) sweepConfigs(req sweepRequest) ([]eole.Config, error) {
+	var cfgs []eole.Config
+	for i, ref := range req.Configs {
+		cfg, err := ref.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("configs[%d]: %w", i, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	if req.Grid != nil {
+		// Check the cell budget before expanding: Size is O(axes)
+		// while Configs allocates every cell.
+		if n := req.Grid.Size(); n > maxSweepCells {
+			return nil, fmt.Errorf("grid expands to %d configs, exceeding limit %d", n, maxSweepCells)
+		}
+		gcfgs, err := req.Grid.Configs()
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, gcfgs...)
+	}
+	if len(cfgs) > 0 {
+		return cfgs, nil
+	}
+	names := eole.ConfigNames()
+	cfgs = make([]eole.Config, len(names))
+	for i, name := range names {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs, nil
 }
 
 func (s *server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
@@ -230,10 +356,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
-// buildRequest resolves names, applies defaults and enforces the run
-// length ceiling.
+// buildRequest resolves the config reference (named or inline),
+// applies defaults and enforces the run length ceiling.
 func (s *server) buildRequest(req simulateRequest) (simsvc.Request, error) {
-	cfg, err := eole.NamedConfig(req.Config)
+	cfg, err := req.Config.resolve()
 	if err != nil {
 		return simsvc.Request{}, err
 	}

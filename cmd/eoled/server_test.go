@@ -53,7 +53,7 @@ func getJSON(t *testing.T, h http.Handler, path string, out any) *httptest.Respo
 
 func TestSimulateRoundTrip(t *testing.T) {
 	h := newTestHandler(t)
-	rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: "EOLE_4_64", Workload: "namd"})
+	rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "namd"})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -78,10 +78,10 @@ func TestSimulateValidation(t *testing.T) {
 		name string
 		req  simulateRequest
 	}{
-		{"unknown config", simulateRequest{Config: "NoSuch", Workload: "namd"}},
-		{"unknown workload", simulateRequest{Config: "EOLE_4_64", Workload: "nope"}},
-		{"over limit", simulateRequest{Config: "EOLE_4_64", Workload: "namd", Measure: 2_000_000}},
-		{"uint64 overflow", simulateRequest{Config: "EOLE_4_64", Workload: "namd", Warmup: math.MaxUint64, Measure: 2}},
+		{"unknown config", simulateRequest{Config: namedRef("NoSuch"), Workload: "namd"}},
+		{"unknown workload", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "nope"}},
+		{"over limit", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "namd", Measure: 2_000_000}},
+		{"uint64 overflow", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "namd", Warmup: math.MaxUint64, Measure: 2}},
 	} {
 		rec := postJSON(t, h, "/v1/simulate", tc.req)
 		if rec.Code != http.StatusBadRequest {
@@ -113,9 +113,9 @@ func TestConcurrentSweeps(t *testing.T) {
 	h := newServer(svc, 2_000, 5_000, 1_000_000)
 
 	sweeps := []sweepRequest{
-		{Configs: []string{"Baseline_6_64", "EOLE_4_64"}, Workloads: []string{"gzip", "art"}},
-		{Configs: []string{"Baseline_6_64", "EOLE_6_64"}, Workloads: []string{"gzip", "art"}},
-		{Configs: []string{"Baseline_6_64"}, Workloads: []string{"gzip", "art", "crafty"}},
+		{Configs: []configRef{namedRef("Baseline_6_64"), namedRef("EOLE_4_64")}, Workloads: []string{"gzip", "art"}},
+		{Configs: []configRef{namedRef("Baseline_6_64"), namedRef("EOLE_6_64")}, Workloads: []string{"gzip", "art"}},
+		{Configs: []configRef{namedRef("Baseline_6_64")}, Workloads: []string{"gzip", "art", "crafty"}},
 	}
 	var wg sync.WaitGroup
 	recs := make([]*httptest.ResponseRecorder, len(sweeps))
@@ -163,7 +163,7 @@ func TestSweepPerJobErrors(t *testing.T) {
 	// An unknown config in a sweep fails the request up front (the
 	// grid cannot be built).
 	rec := postJSON(t, h, "/v1/sweep", sweepRequest{
-		Configs: []string{"NoSuch"}, Workloads: []string{"gzip"},
+		Configs: []configRef{namedRef("NoSuch")}, Workloads: []string{"gzip"},
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("unknown config: status %d, want 400", rec.Code)
@@ -174,9 +174,9 @@ func TestSweepResourceLimits(t *testing.T) {
 	h := newTestHandler(t)
 	// A grid larger than maxSweepCells is rejected before any name
 	// resolution or job submission.
-	big := make([]string, maxSweepCells)
+	big := make([]configRef, maxSweepCells)
 	for i := range big {
-		big[i] = "EOLE_4_64"
+		big[i] = namedRef("EOLE_4_64")
 	}
 	rec := postJSON(t, h, "/v1/sweep", sweepRequest{Configs: big, Workloads: []string{"gzip", "art"}})
 	if rec.Code != http.StatusBadRequest {
@@ -216,7 +216,7 @@ func TestListingAndStats(t *testing.T) {
 	}
 
 	// Run one sim, then check the counters moved.
-	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: "EOLE_4_64", Workload: "gzip"}); rec.Code != http.StatusOK {
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"}); rec.Code != http.StatusOK {
 		t.Fatalf("simulate: %d", rec.Code)
 	}
 	var st simsvc.Stats
@@ -264,7 +264,7 @@ func TestTracesEndpoint(t *testing.T) {
 	}
 
 	if rec := postJSON(t, h, "/v1/sweep", sweepRequest{
-		Configs:   []string{"Baseline_6_64", "EOLE_4_64"},
+		Configs:   []configRef{namedRef("Baseline_6_64"), namedRef("EOLE_4_64")},
 		Workloads: []string{"gzip"},
 	}); rec.Code != http.StatusOK {
 		t.Fatalf("sweep: %d: %s", rec.Code, rec.Body.String())

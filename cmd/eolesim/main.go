@@ -5,11 +5,20 @@
 //
 //	eolesim -config EOLE_4_64 -workload namd -warmup 50000 -n 200000
 //	eolesim -config EOLE_4_64 -workload namd -json
+//	eolesim -config my_machine.json -workload namd           # custom config from JSON
+//	eolesim -config EOLE_4_64 -dump-config > my_machine.json # export a config to edit
 //	eolesim -workload namd -record -tracedir traces          # record µ-op trace
 //	eolesim -config EOLE_4_64 -workload namd -replay -tracedir traces
 //	eolesim -list
 //	eolesim -disasm mcf
 //	eolesim -config EOLE_4_64 -workload mcf -pipetrace 40
+//
+// Custom configurations: -config accepts either a named paper
+// configuration or a path to a JSON file holding a Config object
+// (the format -dump-config emits). Edit any field — issue width, IQ
+// size, PRF banking, EOLE features — and the file is validated before
+// the run; reports label an unnamed custom config as
+// "custom-<fingerprint prefix>".
 //
 // Record/replay: -record interprets the workload once and writes its
 // committed µ-op stream to <tracedir>/<workload>.trace; -replay runs
@@ -20,13 +29,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"eole"
-	"eole/internal/config"
 	"eole/internal/core"
 	"eole/internal/prog"
 	"eole/internal/trace"
@@ -35,7 +44,8 @@ import (
 
 func main() {
 	var (
-		cfgName  = flag.String("config", "EOLE_4_64", "machine configuration name")
+		cfgName  = flag.String("config", "EOLE_4_64", "machine configuration: a name or a JSON config file path")
+		dumpCfg  = flag.Bool("dump-config", false, "print the resolved configuration as JSON and exit")
 		wlName   = flag.String("workload", "namd", "benchmark name (short or full)")
 		warmup   = flag.Uint64("warmup", 50_000, "warm-up µ-ops before measurement")
 		n        = flag.Uint64("n", 200_000, "measured µ-ops")
@@ -49,8 +59,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *dumpCfg {
+		cfg, err := resolveConfig(*cfgName)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *pipeN > 0 {
-		cfg, err := config.Named(*cfgName)
+		cfg, err := resolveConfig(*cfgName)
 		if err != nil {
 			fail(err)
 		}
@@ -104,7 +127,7 @@ func main() {
 		}
 	}
 
-	cfg, err := eole.NamedConfig(*cfgName)
+	cfg, err := resolveConfig(*cfgName)
 	if err != nil {
 		fail(err)
 	}
@@ -127,6 +150,32 @@ func main() {
 		return
 	}
 	fmt.Println(r)
+}
+
+// resolveConfig turns the -config argument into a configuration: a
+// path to an existing file is decoded as a JSON Config object (the
+// format -dump-config emits; unknown fields are rejected so a typo'd
+// field name cannot silently run a different machine), normalized and
+// validated; anything else resolves as a named paper configuration.
+func resolveConfig(arg string) (eole.Config, error) {
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return eole.Config{}, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		var cfg eole.Config
+		if err := dec.Decode(&cfg); err != nil {
+			return eole.Config{}, fmt.Errorf("%s: not a JSON config: %w", arg, err)
+		}
+		cfg = cfg.Normalized()
+		if err := cfg.Validate(); err != nil {
+			return eole.Config{}, fmt.Errorf("%s: %w", arg, err)
+		}
+		return cfg, nil
+	}
+	return eole.NamedConfig(arg)
 }
 
 // recordTrace interprets the workload once and writes the trace file.

@@ -30,6 +30,7 @@
 package eole
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -134,8 +135,12 @@ type Simulator struct {
 // NewSimulator builds a simulator. By default the µ-op stream comes
 // from the functional interpreter; WithReplay substitutes a recorded
 // trace. It returns an error for invalid configurations or a trace
-// that does not match the workload.
+// that does not match the workload. The config is normalized first
+// (Config.Normalized), so a raw struct that left LEWidth to its
+// commit-width default simulates the same machine as its builder
+// twin.
 func NewSimulator(cfg Config, w Workload, opts ...SimOption) (*Simulator, error) {
+	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,12 +172,29 @@ func (s *Simulator) Run(n uint64) *Report {
 	return s.report()
 }
 
+// RunContext is Run with cooperative cancellation: the cycle-level
+// core checks ctx at checkpoints (every ~1K cycles) and stops promptly
+// when it fires, returning the report so far alongside ctx.Err(). The
+// simulator state stays consistent, so a canceled run can be resumed.
+func (s *Simulator) RunContext(ctx context.Context, n uint64) (*Report, error) {
+	_, err := s.core.RunContext(ctx, n)
+	return s.report(), err
+}
+
 // Measure clears statistics and simulates n committed µ-ops, so the
 // returned report covers exactly the measured region.
 func (s *Simulator) Measure(n uint64) *Report {
 	s.core.ResetStats()
 	s.core.Run(n)
 	return s.report()
+}
+
+// MeasureContext is Measure with cooperative cancellation (see
+// RunContext).
+func (s *Simulator) MeasureContext(ctx context.Context, n uint64) (*Report, error) {
+	s.core.ResetStats()
+	_, err := s.core.RunContext(ctx, n)
+	return s.report(), err
 }
 
 // Config returns the simulated machine configuration.
@@ -186,7 +208,9 @@ func (s *Simulator) report() *Report {
 	bp := s.core.Branch()
 	mem := s.core.Memory()
 	return &Report{
-		Config:    s.cfg.Name,
+		// Label, not Name: an anonymous builder config reports as
+		// "custom-<fingerprint prefix>" instead of "".
+		Config:    s.cfg.Label(),
 		Benchmark: s.wl.Short,
 
 		Cycles:    st.Cycles,
@@ -320,4 +344,24 @@ func Simulate(cfg Config, w Workload, warmup, measure uint64, opts ...SimOption)
 	}
 	sim.Run(warmup)
 	return sim.Measure(measure), nil
+}
+
+// SimulateContext is Simulate with cooperative cancellation: when ctx
+// fires (deadline, client disconnect, all waiters gone) the cycle
+// loop stops within ~1K cycles and ctx.Err() is returned. A canceled
+// run returns no report — partial measurements are not comparable
+// across configs.
+func SimulateContext(ctx context.Context, cfg Config, w Workload, warmup, measure uint64, opts ...SimOption) (*Report, error) {
+	sim, err := NewSimulator(cfg, w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.RunContext(ctx, warmup); err != nil {
+		return nil, err
+	}
+	r, err := sim.MeasureContext(ctx, measure)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
 }

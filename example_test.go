@@ -37,6 +37,59 @@ func ExampleNamedConfig() {
 	// Output: 6 64 true false
 }
 
+// ExampleNewConfig builds a custom machine with functional options.
+// The builder chain below reproduces EOLE_4_64 field-for-field, so it
+// shares the named config's fingerprint — and therefore its cache
+// entry in the batch service — while staying anonymous (labeled from
+// the fingerprint).
+func ExampleNewConfig() {
+	cfg, err := eole.NewConfig(
+		eole.FromBaseline(), // Table 1 machine, no VP
+		eole.IssueWidth(4), eole.IQ(64),
+		eole.ValuePrediction(true),
+		eole.EarlyExecution(1),
+		eole.LateExecution(true),
+		eole.LEBranches(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	named, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("anonymous:", cfg.Name == "")
+	fmt.Println("same machine:", cfg.Fingerprint() == named.Fingerprint())
+	fmt.Println("label prefix:", cfg.Label()[:7])
+	// Output:
+	// anonymous: true
+	// same machine: true
+	// label prefix: custom-
+}
+
+// ExampleGrid declares a Figure 10 style design-space sweep as data:
+// a base config and a PRF-banking axis, cartesian-expanded into
+// validated, distinctly-named configurations.
+func ExampleGrid() {
+	g := eole.Grid{
+		BaseName: "EOLE_4_64",
+		Axes: []eole.Axis{
+			{Option: "PRFBanks", Values: []any{2, 4, 8}},
+		},
+	}
+	cfgs, err := g.Configs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cfgs {
+		fmt.Println(c.Name, c.PRF.Banks)
+	}
+	// Output:
+	// EOLE_4_64_PRFBanks2 2
+	// EOLE_4_64_PRFBanks4 4
+	// EOLE_4_64_PRFBanks8 8
+}
+
 // ExampleWorkloadByName looks up a Table 3 benchmark.
 func ExampleWorkloadByName() {
 	w, err := eole.WorkloadByName("429.mcf")

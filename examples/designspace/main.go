@@ -40,23 +40,28 @@ func main() {
 	ref := geomeanIPC(base)
 	fmt.Printf("reference: %s geomean IPC %.3f over %v\n\n", base.Name, ref, benchmarks)
 
+	// The sweep is declared as data: a base config and two axes whose
+	// cartesian product Grid.Configs expands into validated configs
+	// (issue-major, IQ-minor — matching the print loop below).
+	grid := eole.Grid{
+		BaseName: "Baseline_VP_6_64",
+		Axes: []eole.Axis{
+			{Option: "IssueWidth", Values: []any{4, 6, 8}},
+			{Option: "IQ", Values: []any{48, 64}},
+		},
+	}
+	vps, err := grid.Configs()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-8s %-6s %12s %12s %12s\n", "issue", "IQ", "baseline_VP", "EOLE", "EOLE_gain")
-	for _, issue := range []int{4, 6, 8} {
-		for _, iq := range []int{48, 64} {
-			bv, err := eole.NamedConfig("Baseline_VP_6_64")
-			if err != nil {
-				log.Fatal(err)
-			}
-			bv.Name = fmt.Sprintf("VP_%d_%d", issue, iq)
-			bv.IssueWidth = issue
-			bv.IQSize = iq
+	for _, bv := range vps {
+		eo := eole.EOLEConfig(bv.IssueWidth, bv.IQSize)
 
-			eo := eole.EOLEConfig(issue, iq)
-
-			b := geomeanIPC(bv) / ref
-			e := geomeanIPC(eo) / ref
-			fmt.Printf("%-8d %-6d %12.3f %12.3f %11.1f%%\n", issue, iq, b, e, 100*(e-b)/b)
-		}
+		b := geomeanIPC(bv) / ref
+		e := geomeanIPC(eo) / ref
+		fmt.Printf("%-8d %-6d %12.3f %12.3f %11.1f%%\n", bv.IssueWidth, bv.IQSize, b, e, 100*(e-b)/b)
 	}
 	fmt.Println("\nEOLE holds the 6-issue baseline's performance at 4-issue —")
 	fmt.Println("the paper's Figure 7/12 conclusion — and the gain shrinks as the")

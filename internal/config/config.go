@@ -1,17 +1,24 @@
-// Package config defines machine configurations for the simulator and
-// provides every named configuration the paper evaluates
-// (Baseline_6_64, Baseline_VP_6_64, EOLE_4_64, OLE_4_64, ...).
+// Package config defines machine configurations for the simulator:
+// a composable functional-option builder (New and the Option
+// constructors), canonical content hashing (Config.Fingerprint),
+// design-space sweep grids (Grid/Axis), and every named configuration
+// the paper evaluates (Baseline_6_64, Baseline_VP_6_64, EOLE_4_64,
+// OLE_4_64, ...) as sugar over the builder.
 package config
 
 import (
 	"fmt"
 	"sort"
 
+	"eole/internal/isa"
 	"eole/internal/regfile"
 )
 
-// Config describes one machine. Zero values are invalid; start from
-// Baseline6_64() or another constructor and tweak.
+// Config describes one machine. Zero values are invalid; build one
+// with New, Named, or another constructor and tweak. Config is plain
+// data: it marshals to JSON losslessly and round-trips back to an
+// identical value, so configurations are first-class wire and cache
+// values.
 type Config struct {
 	Name string
 
@@ -65,27 +72,88 @@ type Config struct {
 	ValueMispredictPenalty int
 }
 
-// Validate rejects structurally impossible configurations.
+// Structural ceilings and floors for Validate. Configurations arrive
+// from untrusted sources (inline HTTP objects, JSON files), so every
+// field the core sizes an allocation or a loop by must be bounded —
+// generously, far beyond the paper's design space, but finitely.
+const (
+	maxWidth    = 64      // pipeline widths, FU counts, LE width
+	maxQueue    = 1 << 16 // ROB/IQ/LQ/SQ entries
+	maxFetchQ   = 1 << 20 // fetch-queue entries
+	maxFrontLag = 1024    // fetch-to-rename cycles
+	maxPRFRegs  = 1 << 20 // physical registers per file
+	maxPRFBanks = 64      // the core packs bank indices into int8
+	maxPenalty  = 1 << 16 // value-misprediction squash cycles
+)
+
+// Validate rejects structurally impossible configurations. Error
+// messages name the builder option that sets the offending field, so
+// a failed Grid cell or inline HTTP config points at its own spec.
+// Every bound here is a hard precondition of internal/core: a config
+// that passes Validate must never panic or wedge the simulator, since
+// arbitrary configs are reachable over the eoled HTTP API.
 func (c Config) Validate() error {
 	switch {
 	case c.FetchWidth < 1 || c.RenameWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1:
-		return fmt.Errorf("config %s: widths must be positive", c.Name)
+		return fmt.Errorf("config %s: widths must be positive (FetchWidth %d, RenameWidth %d, IssueWidth %d, CommitWidth %d)",
+			c.Label(), c.FetchWidth, c.RenameWidth, c.IssueWidth, c.CommitWidth)
+	case c.FetchWidth > maxWidth || c.RenameWidth > maxWidth || c.IssueWidth > maxWidth || c.CommitWidth > maxWidth:
+		return fmt.Errorf("config %s: widths must be <= %d (FetchWidth %d, RenameWidth %d, IssueWidth %d, CommitWidth %d)",
+			c.Label(), maxWidth, c.FetchWidth, c.RenameWidth, c.IssueWidth, c.CommitWidth)
+	case c.MaxTakenPerFetch < 1:
+		return fmt.Errorf("config %s: MaxTakenPerFetch(%d) must be >= 1", c.Label(), c.MaxTakenPerFetch)
+	case c.FetchToRenameLag < 0 || c.FetchToRenameLag > maxFrontLag:
+		return fmt.Errorf("config %s: FetchToRenameLag(%d) must be in 0..%d", c.Label(), c.FetchToRenameLag, maxFrontLag)
 	case c.ROBSize < 1 || c.IQSize < 1 || c.LQSize < 1 || c.SQSize < 1:
-		return fmt.Errorf("config %s: queue sizes must be positive", c.Name)
+		return fmt.Errorf("config %s: queue sizes must be positive (ROB %d, IQ %d, LQ %d, SQ %d)",
+			c.Label(), c.ROBSize, c.IQSize, c.LQSize, c.SQSize)
+	case c.ROBSize > maxQueue || c.IQSize > maxQueue || c.LQSize > maxQueue || c.SQSize > maxQueue:
+		return fmt.Errorf("config %s: queue sizes must be <= %d (ROB %d, IQ %d, LQ %d, SQ %d)",
+			c.Label(), maxQueue, c.ROBSize, c.IQSize, c.LQSize, c.SQSize)
 	case c.IQSize > c.ROBSize:
-		return fmt.Errorf("config %s: IQ (%d) larger than ROB (%d)", c.Name, c.IQSize, c.ROBSize)
+		return fmt.Errorf("config %s: IQ(%d) larger than ROB(%d)", c.Label(), c.IQSize, c.ROBSize)
+	case c.CommitWidth > c.RenameWidth:
+		return fmt.Errorf("config %s: CommitWidth(%d) exceeds RenameWidth(%d): retire can never outpace rename",
+			c.Label(), c.CommitWidth, c.RenameWidth)
+	case c.FetchQueueSize < c.FetchWidth*c.FetchToRenameLag || c.FetchQueueSize < c.FetchWidth:
+		return fmt.Errorf("config %s: FetchQueue(%d) cannot cover the front-end pipe: need FetchWidth(%d) x FetchToRenameLag(%d) = %d entries",
+			c.Label(), c.FetchQueueSize, c.FetchWidth, c.FetchToRenameLag, c.FetchWidth*c.FetchToRenameLag)
+	case c.FetchQueueSize > maxFetchQ:
+		return fmt.Errorf("config %s: FetchQueue(%d) must be <= %d", c.Label(), c.FetchQueueSize, maxFetchQ)
+	case c.NumALU < 1 || c.NumMulDiv < 1 || c.NumFP < 1 || c.NumFPMulDiv < 1 || c.NumMemPorts < 1:
+		return fmt.Errorf("config %s: every functional-unit count must be >= 1 (ALU %d, MulDiv %d, FP %d, FPMulDiv %d, MemPorts %d): the workloads use all unit classes",
+			c.Label(), c.NumALU, c.NumMulDiv, c.NumFP, c.NumFPMulDiv, c.NumMemPorts)
+	case c.NumALU > maxWidth || c.NumMulDiv > maxWidth || c.NumFP > maxWidth || c.NumFPMulDiv > maxWidth || c.NumMemPorts > maxWidth:
+		return fmt.Errorf("config %s: functional-unit counts must be <= %d (ALU %d, MulDiv %d, FP %d, FPMulDiv %d, MemPorts %d)",
+			c.Label(), maxWidth, c.NumALU, c.NumMulDiv, c.NumFP, c.NumFPMulDiv, c.NumMemPorts)
 	case (c.EarlyExecution || c.LateExecution) && !c.ValuePrediction:
-		return fmt.Errorf("config %s: EOLE requires value prediction", c.Name)
+		return fmt.Errorf("config %s: EarlyExecution/LateExecution require ValuePrediction", c.Label())
 	case c.LEReturns && !c.LateExecution:
-		return fmt.Errorf("config %s: LEReturns requires Late Execution", c.Name)
+		return fmt.Errorf("config %s: LEReturns requires LateExecution", c.Label())
 	case c.EarlyExecution && (c.EEDepth < 1 || c.EEDepth > 2):
-		return fmt.Errorf("config %s: EE depth must be 1 or 2", c.Name)
+		return fmt.Errorf("config %s: EarlyExecution depth must be 1 or 2, got %d", c.Label(), c.EEDepth)
+	case c.LEWidth < 0 || c.LEWidth > maxWidth:
+		return fmt.Errorf("config %s: LEWidth(%d) must be in 0..%d", c.Label(), c.LEWidth, maxWidth)
+	case c.ValueMispredictPenalty < 0 || c.ValueMispredictPenalty > maxPenalty:
+		return fmt.Errorf("config %s: ValueMispredictPenalty(%d) must be in 0..%d", c.Label(), c.ValueMispredictPenalty, maxPenalty)
+	case c.PRF.Banks > maxPRFBanks:
+		return fmt.Errorf("config %s: PRFBanks(%d) must be <= %d", c.Label(), c.PRF.Banks, maxPRFBanks)
+	case c.PRF.IntRegs > maxPRFRegs || c.PRF.FPRegs > maxPRFRegs:
+		return fmt.Errorf("config %s: physical register files must be <= %d entries (INT %d, FP %d)",
+			c.Label(), maxPRFRegs, c.PRF.IntRegs, c.PRF.FPRegs)
+	case c.PRF.IntRegs < isa.NumIntRegs+c.RenameWidth || c.PRF.FPRegs < isa.NumFPRegs+c.RenameWidth:
+		// Renaming pins one physical register per live architectural
+		// register; anything below arch state + one rename group of
+		// headroom cannot sustain forward progress.
+		return fmt.Errorf("config %s: PRF too small (INT %d, FP %d): need at least %d INT and %d FP physical registers (architectural state + one rename group)",
+			c.Label(), c.PRF.IntRegs, c.PRF.FPRegs, isa.NumIntRegs+c.RenameWidth, isa.NumFPRegs+c.RenameWidth)
 	}
 	return c.PRF.Validate()
 }
 
 // baseline returns the Table 1 machine: 6-issue, 64-entry IQ, 192-entry
-// ROB, 19-cycle fetch-to-commit, no value prediction.
+// ROB, 19-cycle fetch-to-commit, no value prediction. It is the seed
+// every builder chain starts from.
 func baseline() Config {
 	return Config{
 		Name:             "Baseline_6_64",
@@ -115,54 +183,57 @@ func baseline() Config {
 }
 
 // Baseline6_64 is the no-VP reference machine of Table 1/Figure 6.
-func Baseline6_64() Config { return baseline() }
+func Baseline6_64() Config {
+	return mustNew(WithName("Baseline_6_64"))
+}
 
 // BaselineVP adds the VTAGE-2DStride predictor with validation at
 // commit (one extra pre-commit LE/VT cycle) at the given issue width
 // and IQ size: Baseline_VP_<issue>_<iq>.
 func BaselineVP(issue, iq int) Config {
-	c := baseline()
-	c.Name = fmt.Sprintf("Baseline_VP_%d_%d", issue, iq)
-	c.IssueWidth = issue
-	c.IQSize = iq
-	c.ValuePrediction = true
-	c.PredictorName = "VTAGE-2DStride"
-	return c
+	return mustNew(
+		WithName(fmt.Sprintf("Baseline_VP_%d_%d", issue, iq)),
+		IssueWidth(issue), IQ(iq),
+		ValuePrediction(true),
+	)
 }
 
 // EOLE returns the full {Early | OoO | Late} Execution machine:
 // EOLE_<issue>_<iq>. Ports and banks are unconstrained (the Section 5
 // idealization: EE/LE treat any group of up to 8 µ-ops per cycle).
 func EOLE(issue, iq int) Config {
-	c := BaselineVP(issue, iq)
-	c.Name = fmt.Sprintf("EOLE_%d_%d", issue, iq)
-	c.EarlyExecution = true
-	c.EEDepth = 1
-	c.LateExecution = true
-	c.LEBranches = true
-	c.LEWidth = c.CommitWidth
-	return c
+	return mustNew(
+		FromConfig(BaselineVP(issue, iq)),
+		WithName(fmt.Sprintf("EOLE_%d_%d", issue, iq)),
+		EarlyExecution(1),
+		LateExecution(true), // LE width defaults to commit width
+		LEBranches(true),
+	)
 }
 
 // OLE removes Early Execution (Late Execution only, §6.5).
 func OLE(issue, iq int) Config {
-	c := EOLE(issue, iq)
-	c.Name = fmt.Sprintf("OLE_%d_%d", issue, iq)
-	c.EarlyExecution = false
-	c.EEDepth = 0
-	return c
+	return mustNew(
+		FromConfig(EOLE(issue, iq)),
+		WithName(fmt.Sprintf("OLE_%d_%d", issue, iq)),
+		EarlyExecution(0),
+	)
 }
 
 // EOE removes Late Execution (Early Execution only, §6.5).
 func EOE(issue, iq int) Config {
-	c := EOLE(issue, iq)
-	c.Name = fmt.Sprintf("EOE_%d_%d", issue, iq)
-	c.LateExecution = false
-	c.LEBranches = false
-	return c
+	return mustNew(
+		FromConfig(EOLE(issue, iq)),
+		WithName(fmt.Sprintf("EOE_%d_%d", issue, iq)),
+		LateExecution(false),
+		LEBranches(false),
+	)
 }
 
 // WithBanks applies PRF banking (Figure 10).
+//
+// Deprecated: build with New(FromConfig(c), PRFBanks(banks)) or a Grid
+// axis {"option": "PRFBanks", ...}; retained for existing call sites.
 func WithBanks(c Config, banks int) Config {
 	c.Name = fmt.Sprintf("%s_%dbanks", c.Name, banks)
 	c.PRF.Banks = banks
@@ -170,6 +241,10 @@ func WithBanks(c Config, banks int) Config {
 }
 
 // WithLEVTPorts caps LE/VT read ports per bank (Figure 11).
+//
+// Deprecated: build with New(FromConfig(c), LEVTPorts(ports)) or a
+// Grid axis {"option": "LEVTPorts", ...}; retained for existing call
+// sites.
 func WithLEVTPorts(c Config, ports int) Config {
 	c.Name = fmt.Sprintf("%s_%dports", c.Name, ports)
 	c.PRF.LEVTReadPortsPerBank = ports
@@ -178,6 +253,9 @@ func WithLEVTPorts(c Config, ports int) Config {
 
 // WithLEReturns enables the §7 extension: very-high-confidence returns
 // and indirect jumps resolve at the LE/VT stage.
+//
+// Deprecated: build with New(FromConfig(c), LEReturns(true)); retained
+// for existing call sites.
 func WithLEReturns(c Config) Config {
 	c.Name = c.Name + "_LEret"
 	c.LEReturns = true
@@ -187,11 +265,12 @@ func WithLEReturns(c Config) Config {
 // EOLE4_64Practical is the headline practical design of Figure 12:
 // EOLE_4_64 with a 4-bank PRF and 4 LE/VT read ports per bank.
 func EOLE4_64Practical() Config {
-	c := EOLE(4, 64)
-	c.PRF.Banks = 4
-	c.PRF.LEVTReadPortsPerBank = 4
-	c.Name = "EOLE_4_64_4ports_4banks"
-	return c
+	return mustNew(
+		FromConfig(EOLE(4, 64)),
+		WithName("EOLE_4_64_4ports_4banks"),
+		PRFBanks(4),
+		LEVTPorts(4),
+	)
 }
 
 // Named resolves every configuration name used in the experiments.

@@ -1,0 +1,46 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestNamedConfigsMatchGolden pins every named configuration to the
+// pre-redesign values captured in testdata/named_configs_golden.json:
+// the builder re-implementation must be byte-identical to the
+// hand-assembled structs it replaced.
+func TestNamedConfigsMatchGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/named_configs_golden.json")
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	var golden map[string]Config
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("golden decode: %v", err)
+	}
+	if len(golden) != len(KnownNames()) {
+		t.Fatalf("golden holds %d configs, KnownNames %d", len(golden), len(KnownNames()))
+	}
+	for _, name := range KnownNames() {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("golden file missing %s", name)
+			continue
+		}
+		got, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%s): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s drifted from the pre-redesign value:\n got  %+v\n want %+v", name, got, want)
+		}
+		// Byte-level check through the canonical JSON encoding.
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("%s JSON drifted:\n got  %s\n want %s", name, gb, wb)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package config
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Axis is one dimension of a design-space sweep: a registry option
+// name (see OptionNames) and the values it takes. The JSON form is
+// what /v1/sweep accepts on the wire:
+//
+//	{"option": "PRFBanks", "values": [2, 4, 8]}
+type Axis struct {
+	Option string `json:"option"`
+	Values []any  `json:"values"`
+}
+
+// Grid is a first-class sweep specification: a base configuration and
+// a set of axes whose cartesian product Configs expands into validated
+// configurations. Exactly one of BaseName (a named paper config) or
+// Base (an inline config) selects the starting point; both empty means
+// the Table 1 baseline. The zero Grid expands to just the baseline.
+//
+// Grids are plain data and round-trip through JSON, so the same value
+// drives the Go API, the eoled HTTP API and config files on disk.
+type Grid struct {
+	BaseName string  `json:"base_name,omitempty"`
+	Base     *Config `json:"base,omitempty"`
+	Axes     []Axis  `json:"axes,omitempty"`
+}
+
+// maxGridCells bounds one Configs expansion. Grids arrive from
+// untrusted HTTP bodies, where a few axes of a few hundred values
+// each would otherwise multiply into an unbounded allocation.
+const maxGridCells = 1 << 20
+
+// Size returns the number of configurations Configs would produce
+// (the product of the axis lengths), without expanding them — callers
+// enforcing a cell budget check this first. An axis with no values
+// makes the grid empty; a product beyond the representable range
+// saturates at math.MaxInt instead of wrapping.
+func (g Grid) Size() int {
+	size := 1
+	for _, ax := range g.Axes {
+		n := len(ax.Values)
+		if n == 0 {
+			return 0
+		}
+		if size > math.MaxInt/n {
+			return math.MaxInt
+		}
+		size *= n
+	}
+	return size
+}
+
+// base resolves the starting configuration.
+func (g Grid) base() (Config, error) {
+	switch {
+	case g.Base != nil && g.BaseName != "":
+		return Config{}, errors.New("config: grid sets both base and base_name")
+	case g.Base != nil:
+		return *g.Base, nil
+	case g.BaseName != "":
+		return Named(g.BaseName)
+	}
+	return baseline(), nil
+}
+
+// Configs cartesian-expands the grid in row-major order (the first
+// axis varies slowest, matching nested loops over the axes in
+// declaration order). Every produced configuration is named
+// "<base>_<Option><value>..." after the base's label and the axis
+// values that shaped it, finalized (LE width defaulting) and
+// validated; the first invalid cell aborts the expansion with an
+// error naming the cell.
+func (g Grid) Configs() ([]Config, error) {
+	base, err := g.base()
+	if err != nil {
+		return nil, err
+	}
+	if n := g.Size(); n > maxGridCells {
+		return nil, fmt.Errorf("config: grid expands to %d cells, exceeding the %d-cell limit", n, maxGridCells)
+	}
+	specs := make([]*optionSpec, len(g.Axes))
+	for i, ax := range g.Axes {
+		if ax.Option == "" {
+			return nil, fmt.Errorf("config: grid axis %d has no option name", i)
+		}
+		spec, ok := lookupOption(ax.Option)
+		if !ok {
+			return nil, fmt.Errorf("config: grid axis %d: unknown option %q", i, ax.Option)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("config: grid axis %s has no values", spec.name)
+		}
+		specs[i] = spec
+	}
+
+	out := make([]Config, 0, g.Size())
+	idx := make([]int, len(g.Axes))
+	for {
+		c := base
+		name := base.Label()
+		for i, ax := range g.Axes {
+			v := ax.Values[idx[i]]
+			if err := specs[i].apply(&c, v); err != nil {
+				return nil, fmt.Errorf("config: grid axis %s value %v: %w", specs[i].name, v, err)
+			}
+			name += axisSuffix(specs[i], v)
+		}
+		finalize(&c)
+		c.Name = name
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("config: grid cell %s: %w", name, err)
+		}
+		out = append(out, c)
+
+		// Odometer increment: the last axis spins fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(g.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// axisSuffix renders one axis value into the synthesized cell name:
+// "_PRFBanks4" for scalars, "_LEReturns" / "_noLEReturns" for bools.
+func axisSuffix(spec *optionSpec, v any) string {
+	if b, err := toBool(v); err == nil {
+		if b {
+			return "_" + spec.name
+		}
+		return "_no" + spec.name
+	}
+	if n, err := toInt(v); err == nil {
+		return fmt.Sprintf("_%s%d", spec.name, n)
+	}
+	return fmt.Sprintf("_%s%v", spec.name, v)
+}

@@ -1,0 +1,206 @@
+package config
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGridExpansionOrderAndNames(t *testing.T) {
+	g := Grid{
+		BaseName: "EOLE_4_64",
+		Axes: []Axis{
+			{Option: "PRFBanks", Values: []any{2, 4}},
+			{Option: "LEVTPorts", Values: []any{2, 3, 4}},
+		},
+	}
+	if g.Size() != 6 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	cfgs, err := g.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 6 {
+		t.Fatalf("expanded %d configs", len(cfgs))
+	}
+	// Row-major: first axis slowest.
+	wantNames := []string{
+		"EOLE_4_64_PRFBanks2_LEVTPorts2",
+		"EOLE_4_64_PRFBanks2_LEVTPorts3",
+		"EOLE_4_64_PRFBanks2_LEVTPorts4",
+		"EOLE_4_64_PRFBanks4_LEVTPorts2",
+		"EOLE_4_64_PRFBanks4_LEVTPorts3",
+		"EOLE_4_64_PRFBanks4_LEVTPorts4",
+	}
+	for i, c := range cfgs {
+		if c.Name != wantNames[i] {
+			t.Errorf("cell %d named %q, want %q", i, c.Name, wantNames[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("cell %d invalid: %v", i, err)
+		}
+	}
+	if cfgs[0].PRF.Banks != 2 || cfgs[0].PRF.LEVTReadPortsPerBank != 2 {
+		t.Errorf("cell 0 fields wrong: %+v", cfgs[0].PRF)
+	}
+	if cfgs[5].PRF.Banks != 4 || cfgs[5].PRF.LEVTReadPortsPerBank != 4 {
+		t.Errorf("cell 5 fields wrong: %+v", cfgs[5].PRF)
+	}
+}
+
+func TestGridDefaultsAndBases(t *testing.T) {
+	// Zero grid: just the Table 1 baseline.
+	cfgs, err := Grid{}.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || cfgs[0] != Baseline6_64() {
+		t.Fatalf("zero grid = %+v", cfgs)
+	}
+
+	// Inline base.
+	base := EOLE(6, 64)
+	cfgs, err = Grid{Base: &base, Axes: []Axis{{Option: "IQ", Values: []any{48, 64}}}}.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].IQSize != 48 || cfgs[1].IQSize != 64 {
+		t.Fatalf("inline-base grid wrong: %+v", cfgs)
+	}
+	if !strings.HasPrefix(cfgs[0].Name, "EOLE_6_64_IQ") {
+		t.Fatalf("cell name %q", cfgs[0].Name)
+	}
+
+	// Both bases set: rejected.
+	if _, err := (Grid{Base: &base, BaseName: "EOLE_4_64"}).Configs(); err == nil {
+		t.Fatal("base + base_name must error")
+	}
+	// Unknown base name.
+	if _, err := (Grid{BaseName: "bogus"}).Configs(); err == nil {
+		t.Fatal("unknown base_name must error")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	cases := []struct {
+		g       Grid
+		wantSub string
+	}{
+		{Grid{Axes: []Axis{{Option: "", Values: []any{1}}}}, "no option name"},
+		{Grid{Axes: []Axis{{Option: "WarpDrive", Values: []any{1}}}}, "unknown option"},
+		{Grid{Axes: []Axis{{Option: "IQ", Values: nil}}}, "no values"},
+		{Grid{Axes: []Axis{{Option: "IQ", Values: []any{"wat"}}}}, "integer"},
+		// Valid option, structurally impossible cell (IQ > ROB).
+		{Grid{Axes: []Axis{{Option: "IQ", Values: []any{1024}}}}, "larger than ROB"},
+	}
+	for i, tc := range cases {
+		_, err := tc.g.Configs()
+		if err == nil {
+			t.Errorf("case %d: bad grid accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("case %d: error %q missing %q", i, err, tc.wantSub)
+		}
+	}
+}
+
+// TestGridJSONRoundTrip pins the wire form: the same grid value drives
+// the Go API and /v1/sweep.
+func TestGridJSONRoundTrip(t *testing.T) {
+	wire := []byte(`{"base_name":"EOLE_4_64","axes":[{"option":"PRFBanks","values":[2,4,8]}]}`)
+	var g Grid
+	if err := json.Unmarshal(wire, &g); err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := g.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 || cfgs[2].PRF.Banks != 8 {
+		t.Fatalf("wire grid expanded wrong: %+v", cfgs)
+	}
+	// JSON numbers arrive as float64; the expansion must treat them as
+	// the equivalent ints (same names, same fingerprints).
+	direct := Grid{BaseName: "EOLE_4_64", Axes: []Axis{{Option: "PRFBanks", Values: []any{2, 4, 8}}}}
+	dcfgs, err := direct.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if cfgs[i] != dcfgs[i] {
+			t.Errorf("cell %d differs between wire and Go axis values", i)
+		}
+	}
+
+	back, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g2 Grid
+	if err := json.Unmarshal(back, &g2); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := g2.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2) != len(cfgs) {
+		t.Fatalf("re-decoded grid expands to %d cells, want %d", len(c2), len(cfgs))
+	}
+	for i := range cfgs {
+		if c2[i] != cfgs[i] {
+			t.Errorf("cell %d differs after grid JSON round trip", i)
+		}
+	}
+}
+
+// TestGridSizeOverflowSaturates: a hostile grid whose axis product
+// exceeds int range must saturate (not wrap past a caller's cell
+// budget), and Configs must refuse to expand it.
+func TestGridSizeOverflowSaturates(t *testing.T) {
+	vals := make([]any, 200)
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	g := Grid{}
+	for i := 0; i < 9; i++ { // 200^9 ≈ 5.1e20 > 2^63
+		g.Axes = append(g.Axes, Axis{Option: "IQ", Values: vals})
+	}
+	if size := g.Size(); size != math.MaxInt {
+		t.Fatalf("Size = %d, want saturation at MaxInt", size)
+	}
+	if _, err := g.Configs(); err == nil || !strings.Contains(err.Error(), "cell limit") {
+		t.Fatalf("oversized grid must refuse to expand, got %v", err)
+	}
+	// Just over the cap but far from overflow: also refused.
+	over := Grid{Axes: []Axis{
+		{Option: "IQ", Values: make([]any, 1100)},
+		{Option: "ROB", Values: make([]any, 1100)},
+	}}
+	if _, err := over.Configs(); err == nil || !strings.Contains(err.Error(), "cell limit") {
+		t.Fatalf("over-cap grid must refuse to expand, got %v", err)
+	}
+}
+
+// TestGridEEDepthAxis covers the Figure 2 style axis over the EE depth
+// including the off value.
+func TestGridEEDepthAxis(t *testing.T) {
+	g := Grid{BaseName: "EOLE_6_64", Axes: []Axis{{Option: "EarlyExecution", Values: []any{0, 1, 2}}}}
+	cfgs, err := g.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].EarlyExecution || cfgs[0].EEDepth != 0 {
+		t.Errorf("depth 0 must disable EE: %+v", cfgs[0])
+	}
+	if !cfgs[2].EarlyExecution || cfgs[2].EEDepth != 2 {
+		t.Errorf("depth 2 wrong: %+v", cfgs[2])
+	}
+	// The depth-1 cell is EOLE_6_64 under another name.
+	if cfgs[1].Fingerprint() != mustNamed(t, "EOLE_6_64").Fingerprint() {
+		t.Error("depth-1 cell must fingerprint-match EOLE_6_64")
+	}
+}

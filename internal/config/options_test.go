@@ -1,0 +1,274 @@
+package config
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBuilderReproducesNamedConfigs spells out two named machines in
+// full builder form and checks field identity (modulo the name, which
+// is a label).
+func TestBuilderReproducesNamedConfigs(t *testing.T) {
+	eole464, err := New(
+		FromBaseline(),
+		WithName("EOLE_4_64"),
+		IssueWidth(4), IQ(64),
+		ValuePrediction(true),
+		EarlyExecution(1),
+		LateExecution(true),
+		LEBranches(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustNamed(t, "EOLE_4_64"); eole464 != want {
+		t.Errorf("builder EOLE_4_64 differs:\n got  %+v\n want %+v", eole464, want)
+	}
+
+	practical, err := New(
+		FromNamed("EOLE_4_64"),
+		WithName("EOLE_4_64_4ports_4banks"),
+		PRFBanks(4), LEVTPorts(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustNamed(t, "EOLE_4_64_4ports_4banks"); practical != want {
+		t.Errorf("builder practical config differs:\n got  %+v\n want %+v", practical, want)
+	}
+}
+
+func mustNamed(t *testing.T, name string) Config {
+	t.Helper()
+	c, err := Named(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsInvalidCombinations(t *testing.T) {
+	cases := []struct {
+		opts    []Option
+		wantSub string
+	}{
+		{[]Option{IssueWidth(0)}, "IssueWidth"},
+		{[]Option{IQ(256)}, "IQ"},                        // IQ > ROB
+		{[]Option{EarlyExecution(1)}, "ValuePrediction"}, // EE without VP
+		{[]Option{EarlyExecution(3)}, "EarlyExecution"},  // bad depth
+		{[]Option{FetchQueue(16)}, "FetchQueue"},         // cannot cover the pipe
+		{[]Option{CommitWidth(12)}, "CommitWidth"},       // commit > rename
+		{[]Option{ValuePrediction(true), LateExecution(true), LEWidth(-1)}, "LEWidth"},
+		{[]Option{PRFBanks(3)}, "banks"}, // 256 not divisible by 3
+	}
+	for i, tc := range cases {
+		_, err := New(tc.opts...)
+		if err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("case %d: error %q does not name %q", i, err, tc.wantSub)
+		}
+	}
+}
+
+// TestValidateRejectsHostileConfigs covers fields only reachable by
+// mutating the struct (or posting inline JSON): every value that
+// would panic or wedge internal/core must fail Validate, because
+// arbitrary configs arrive over the eoled HTTP API.
+func TestValidateRejectsHostileConfigs(t *testing.T) {
+	cases := []struct {
+		mutate  func(c *Config)
+		wantSub string
+	}{
+		{func(c *Config) { c.NumMulDiv = -1 }, "functional-unit"}, // make([]uint64, -1) panic in core
+		{func(c *Config) { c.NumALU = 0 }, "functional-unit"},
+		{func(c *Config) { c.NumMemPorts = 0 }, "functional-unit"},
+		{func(c *Config) { c.NumFPMulDiv = 1000 }, "<= 64"},
+		{func(c *Config) { c.ROBSize = 1 << 30; c.IQSize = 64 }, "queue sizes"}, // huge window allocation
+		{func(c *Config) { c.FetchToRenameLag = -1 }, "FetchToRenameLag"},
+		{func(c *Config) { c.FetchToRenameLag = 1 << 20; c.FetchQueueSize = 1 << 30 }, "FetchToRenameLag"},
+		{func(c *Config) { c.MaxTakenPerFetch = 0 }, "MaxTakenPerFetch"},
+		{func(c *Config) { c.ValueMispredictPenalty = -5 }, "ValueMispredictPenalty"},
+		{func(c *Config) { c.PRF.IntRegs = 0; c.PRF.FPRegs = 0 }, "PRF"},
+		{func(c *Config) { c.PRF.IntRegs = 16; c.PRF.FPRegs = 16 }, "PRF too small"},
+		{func(c *Config) { c.PRF.IntRegs = 1 << 24; c.PRF.FPRegs = 1 << 24 }, "register files"},
+		{func(c *Config) { c.PRF.Banks = 128; c.PRF.IntRegs = 256; c.PRF.FPRegs = 256 }, "PRFBanks"},
+		{func(c *Config) { c.PRF.LEVTReadPortsPerBank = -2 }, "read ports"},
+		{func(c *Config) { c.LEWidth = 1 << 20 }, "LEWidth"},
+	}
+	for i, tc := range cases {
+		c := EOLE(4, 64)
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("case %d: hostile config accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.wantSub)
+		}
+	}
+}
+
+// TestNormalizedUnifiesRawAndBuilderConfigs: a raw config that left
+// LEWidth at 0 with Late Execution on (the commit-width default) is
+// the same machine as its builder twin — Normalized fills the field
+// and Fingerprint hashes the normalized form, so both share one cache
+// identity.
+func TestNormalizedUnifiesRawAndBuilderConfigs(t *testing.T) {
+	built := EOLE(4, 64) // LEWidth = CommitWidth = 8
+	raw := built
+	raw.LEWidth = 0 // as a hand-written JSON config would arrive
+	if raw.Normalized() != built {
+		t.Errorf("Normalized() = %+v, want %+v", raw.Normalized(), built)
+	}
+	if raw.Fingerprint() != built.Fingerprint() {
+		t.Error("raw LEWidth-0 config must fingerprint-match its builder twin")
+	}
+	// Without LE, LEWidth 0 stays 0 (nothing to default).
+	noLE := Baseline6_64()
+	if noLE.Normalized() != noLE {
+		t.Error("Normalized must not touch configs without Late Execution")
+	}
+}
+
+func TestLEWidthDefaultsToCommitWidth(t *testing.T) {
+	c, err := New(ValuePrediction(true), LateExecution(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LEWidth != c.CommitWidth {
+		t.Fatalf("LEWidth = %d, want commit width %d", c.LEWidth, c.CommitWidth)
+	}
+	c2, err := New(ValuePrediction(true), LateExecution(true), LEWidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.LEWidth != 2 {
+		t.Fatalf("explicit LEWidth overridden: %d", c2.LEWidth)
+	}
+}
+
+// TestConfigJSONRoundTripAndFingerprint is the property-style check of
+// the serialization contract over every named config and a grid of
+// builder outputs: JSON round-trips losslessly, the fingerprint
+// survives the round trip, and renaming never changes it.
+func TestConfigJSONRoundTripAndFingerprint(t *testing.T) {
+	var cfgs []Config
+	for _, name := range KnownNames() {
+		cfgs = append(cfgs, mustNamed(t, name))
+	}
+	g := Grid{
+		BaseName: "EOLE_4_64",
+		Axes: []Axis{
+			{Option: "IssueWidth", Values: []any{4, 5, 6}},
+			{Option: "PRFBanks", Values: []any{1, 2, 4}},
+			{Option: "LEVTPorts", Values: []any{0, 4}},
+		},
+	}
+	gridCfgs, err := g.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs = append(cfgs, gridCfgs...)
+
+	seen := make(map[string]string) // fingerprint -> label
+	for _, c := range cfgs {
+		wire, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.Label(), err)
+		}
+		var back Config
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", c.Label(), err)
+		}
+		if back != c {
+			t.Errorf("%s: JSON round trip lost data:\n got  %+v\n want %+v", c.Label(), back, c)
+		}
+		if back.Fingerprint() != c.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across JSON round trip", c.Label())
+		}
+
+		renamed := c
+		renamed.Name = "some_other_label"
+		if renamed.Fingerprint() != c.Fingerprint() {
+			t.Errorf("%s: fingerprint depends on Name", c.Label())
+		}
+
+		if prev, dup := seen[c.Fingerprint()]; dup {
+			// Distinct parameters must not collide. (EOLE_6_64 appears
+			// once named and once as the grid's issue-6 cell — equal
+			// fields, so an equal fingerprint is correct there.)
+			pc := findByLabel(cfgs, prev)
+			cc := c
+			pc.Name, cc.Name = "", ""
+			if pc != cc {
+				t.Errorf("fingerprint collision between %s and %s", prev, c.Label())
+			}
+		}
+		seen[c.Fingerprint()] = c.Label()
+	}
+}
+
+func findByLabel(cfgs []Config, label string) Config {
+	for _, c := range cfgs {
+		if c.Label() == label {
+			return c
+		}
+	}
+	return Config{}
+}
+
+func TestFingerprintStableAcrossProcessRuns(t *testing.T) {
+	// Pinned literal: if this changes, stored cache keys derived from
+	// fingerprints are invalidated — bump fingerprintVersion knowingly,
+	// and update this constant.
+	const want = "0677fbe7dfce"
+	if got := mustNamed(t, "EOLE_4_64").Fingerprint()[:12]; got != want {
+		t.Errorf("EOLE_4_64 fingerprint prefix = %s, want %s (did Config change shape?)", got, want)
+	}
+}
+
+func TestLabelForAnonymousConfigs(t *testing.T) {
+	c := mustNamed(t, "EOLE_4_64")
+	if c.Label() != "EOLE_4_64" {
+		t.Fatalf("named label = %s", c.Label())
+	}
+	c.Name = ""
+	lbl := c.Label()
+	if !strings.HasPrefix(lbl, "custom-") || len(lbl) != len("custom-")+12 {
+		t.Fatalf("anonymous label = %q", lbl)
+	}
+	if lbl != "custom-"+c.Fingerprint()[:12] {
+		t.Fatalf("label %q not derived from fingerprint", lbl)
+	}
+
+	d := c
+	d.IssueWidth++
+	if d.Label() == lbl {
+		t.Fatal("distinct anonymous configs share a label")
+	}
+}
+
+func TestApplyOptionUnknownAndBadValues(t *testing.T) {
+	c := Baseline6_64()
+	if err := ApplyOption(&c, "WarpDrive", 1); err == nil || !strings.Contains(err.Error(), "unknown option") {
+		t.Fatalf("unknown option: %v", err)
+	}
+	if err := ApplyOption(&c, "IssueWidth", 4.5); err == nil || !strings.Contains(err.Error(), "integer") {
+		t.Fatalf("fractional value: %v", err)
+	}
+	if err := ApplyOption(&c, "LateExecution", 1); err == nil || !strings.Contains(err.Error(), "bool") {
+		t.Fatalf("non-bool value: %v", err)
+	}
+	// Case-insensitive + alias resolution, float64 as JSON delivers it.
+	if err := ApplyOption(&c, "iqsize", float64(48)); err != nil {
+		t.Fatalf("alias apply: %v", err)
+	}
+	if c.IQSize != 48 {
+		t.Fatalf("IQSize = %d", c.IQSize)
+	}
+}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -267,9 +268,38 @@ func (c *Core) inWindow(seq uint64) bool {
 // exhausted) and returns the stats. It can be called repeatedly to
 // extend a run (e.g. warm-up then measure).
 func (c *Core) Run(n uint64) *Stats {
+	st, _ := c.RunContext(context.Background(), n)
+	return st
+}
+
+// ctxCheckInterval is the cancellation-checkpoint granularity of
+// RunContext in cycles. At ~1 IPC a checkpoint lands every ~1K µ-ops,
+// so cancellation latency is microseconds of simulation while the
+// common (never-canceled) path pays one counter increment per cycle.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the cycle loop
+// checks ctx every ctxCheckInterval cycles and returns ctx.Err() when
+// it fires. The core stops between cycles, so its state stays
+// consistent — a canceled run can be resumed by calling RunContext
+// again, and the stats cover the cycles actually simulated.
+func (c *Core) RunContext(ctx context.Context, n uint64) (*Stats, error) {
+	done := ctx.Done() // nil for context.Background(): checks compile out
 	target := c.stats.Committed + n
 	idleCycles := 0
+	sinceCheck := 0
 	for c.stats.Committed < target {
+		if done != nil {
+			sinceCheck++
+			if sinceCheck >= ctxCheckInterval {
+				sinceCheck = 0
+				select {
+				case <-done:
+					return &c.stats, ctx.Err()
+				default:
+				}
+			}
+		}
 		committedBefore := c.stats.Committed
 		c.commit()
 		c.issue()
@@ -283,13 +313,13 @@ func (c *Core) Run(n uint64) *Stats {
 			idleCycles++
 			if idleCycles > 500_000 {
 				panic(fmt.Sprintf("core: %s deadlocked at cycle %d (%d in flight, iq=%d)",
-					c.cfg.Name, c.now, c.count, c.iqCount))
+					c.cfg.Label(), c.now, c.count, c.iqCount))
 			}
 		} else {
 			idleCycles = 0
 		}
 	}
-	return &c.stats
+	return &c.stats, nil
 }
 
 // ResetStats zeroes the statistics (for warm-up / measure phases)

@@ -183,15 +183,33 @@ func Table3(o Opts) (*stats.Table, error) {
 	return t, nil
 }
 
+// gridSeries expands a design-space grid into the config series of
+// one figure. Each figure's sweep is declared as data — a base config
+// plus axes — instead of hand-mutated structs; the cells keep their
+// synthesized names ("<base>_<Option><value>") as column labels.
+func gridSeries(g config.Grid) ([]eole.Config, error) {
+	cfgs, err := g.Configs()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return cfgs, nil
+}
+
 // Figure2 reproduces Figure 2: the proportion of committed µ-ops that
 // can be early-executed with one or two ALU stages (VTAGE-2DStride
-// hybrid, 6-issue machine).
+// hybrid, 6-issue machine). The sweep is an EE-depth axis on
+// EOLE_6_64; the depth-1 cell fingerprints identically to the named
+// EOLE_6_64, so it shares cached results with every other figure that
+// runs that machine.
 func Figure2(o Opts) (*stats.Table, error) {
-	one := named("EOLE_6_64")
-	two := named("EOLE_6_64")
-	two.Name = "EOLE_6_64_EE2"
-	two.EEDepth = 2
-	reports, err := runSet(o, []eole.Config{one, two})
+	series, err := gridSeries(config.Grid{
+		BaseName: "EOLE_6_64",
+		Axes:     []config.Axis{{Option: "EarlyExecution", Values: []any{1, 2}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	reports, err := runSet(o, series)
 	if err != nil {
 		return nil, err
 	}
@@ -201,8 +219,8 @@ func Figure2(o Opts) (*stats.Table, error) {
 	t.WithGeomean = false
 	for _, wl := range o.workloads() {
 		t.AddRow(wl,
-			reports[runKey{"EOLE_6_64", wl}].EEFraction,
-			reports[runKey{"EOLE_6_64_EE2", wl}].EEFraction)
+			reports[runKey{series[0].Name, wl}].EEFraction,
+			reports[runKey{series[1].Name, wl}].EEFraction)
 	}
 	return t, nil
 }
@@ -252,9 +270,12 @@ func Figure8(o Opts) (*stats.Table, error) {
 // Figure10 reproduces Figure 10: EOLE_4_64 with a banked PRF (2/4/8
 // banks), normalized to the single-bank EOLE_4_64.
 func Figure10(o Opts) (*stats.Table, error) {
-	var series []eole.Config
-	for _, banks := range []int{2, 4, 8} {
-		series = append(series, config.WithBanks(named("EOLE_4_64"), banks))
+	series, err := gridSeries(config.Grid{
+		BaseName: "EOLE_4_64",
+		Axes:     []config.Axis{{Option: "PRFBanks", Values: []any{2, 4, 8}}},
+	})
+	if err != nil {
+		return nil, err
 	}
 	t, err := speedupTable(o, "Figure 10: PRF banking impact (EOLE_4_64)",
 		"EOLE_4_64", series)
@@ -269,10 +290,15 @@ func Figure10(o Opts) (*stats.Table, error) {
 // 2/3/4 read ports per bank for the LE/VT stage, normalized to
 // EOLE_4_64 with unconstrained ports.
 func Figure11(o Opts) (*stats.Table, error) {
-	var series []eole.Config
-	for _, ports := range []int{2, 3, 4} {
-		c := config.WithLEVTPorts(config.WithBanks(named("EOLE_4_64"), 4), ports)
-		series = append(series, c)
+	series, err := gridSeries(config.Grid{
+		BaseName: "EOLE_4_64",
+		Axes: []config.Axis{
+			{Option: "PRFBanks", Values: []any{4}},
+			{Option: "LEVTPorts", Values: []any{2, 3, 4}},
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	t, err := speedupTable(o, "Figure 11: LE/VT read-port limits (4-bank EOLE_4_64)",
 		"EOLE_4_64", series)
@@ -297,16 +323,23 @@ func Figure12(o Opts) (*stats.Table, error) {
 // Late-Execution-only (OLE) and Early-Execution-only (EOE), each with
 // the practical 4-bank/4-port PRF, normalized to Baseline_VP_6_64.
 func Figure13(o Opts) (*stats.Table, error) {
-	mk := func(name string) eole.Config {
-		c := named(name)
-		c.PRF.Banks = 4
-		c.PRF.LEVTReadPortsPerBank = 4
-		c.Name = name + "_4ports_4banks"
-		return c
+	mk := func(name string) (eole.Config, error) {
+		return config.New(
+			config.FromNamed(name),
+			config.WithName(name+"_4ports_4banks"),
+			config.PRFBanks(4), config.LEVTPorts(4),
+		)
+	}
+	var series []eole.Config
+	for _, name := range []string{"EOLE_4_64", "OLE_4_64", "EOE_4_64"} {
+		c, err := mk(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		series = append(series, c)
 	}
 	return speedupTable(o, "Figure 13: EOLE modularity (OLE and EOE)",
-		"Baseline_VP_6_64",
-		[]eole.Config{mk("EOLE_4_64"), mk("OLE_4_64"), mk("EOE_4_64")})
+		"Baseline_VP_6_64", series)
 }
 
 // Table1 renders the simulated machine configuration (the analogue of

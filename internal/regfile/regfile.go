@@ -34,12 +34,18 @@ func DefaultConfig() Config {
 
 // Validate checks structural feasibility.
 func (c Config) Validate() error {
+	if c.IntRegs < 1 || c.FPRegs < 1 {
+		return fmt.Errorf("regfile: register counts must be positive, got %d INT / %d FP", c.IntRegs, c.FPRegs)
+	}
 	if c.Banks < 1 {
 		return fmt.Errorf("regfile: banks must be >= 1, got %d", c.Banks)
 	}
 	if c.IntRegs%c.Banks != 0 || c.FPRegs%c.Banks != 0 {
 		return fmt.Errorf("regfile: %d INT / %d FP registers not divisible by %d banks",
 			c.IntRegs, c.FPRegs, c.Banks)
+	}
+	if c.LEVTReadPortsPerBank < 0 {
+		return fmt.Errorf("regfile: LE/VT read ports per bank must be >= 0, got %d", c.LEVTReadPortsPerBank)
 	}
 	return nil
 }

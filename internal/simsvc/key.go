@@ -20,43 +20,52 @@ type Request struct {
 	Measure  uint64      `json:"measure"`
 }
 
+// label names the request's configuration for error messages and
+// logs: the display name, or the fingerprint-derived synthetic label
+// for anonymous custom configs (never "").
+func (r Request) label() string { return r.Config.Label() }
+
 // schemaVersion is folded into every Key. Bump it whenever the
 // simulator's observable behavior or the Report schema changes, so a
 // reused spill directory (Options.CacheDir) from an older build is
 // invalidated instead of silently serving stale results.
-const schemaVersion = 1
+//
+// Version history: 1 hashed the full config JSON; 2 keys on
+// Config.Fingerprint().
+const schemaVersion = 2
 
-// Key is the content address of a Request: a SHA-256 over its
-// canonical JSON encoding plus schemaVersion. The simulator is
-// deterministic, so equal keys imply identical Reports.
+// Key is the content address of a Request: a SHA-256 over the
+// config's canonical Fingerprint, the workload, and the run lengths,
+// plus schemaVersion. The simulator is deterministic, so equal keys
+// imply identical Reports.
 type Key [sha256.Size]byte
 
 // String renders the key as lowercase hex (used as the on-disk cache
 // filename).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
-// KeyOf computes the content address of a request. The workload name
-// is canonicalized (short name) so "mcf" and "429.mcf" share a key,
-// and the config's display Name is excluded — it is a label, not
-// machine semantics, so identically-parameterized configs under
-// different names share one simulation. Unresolvable workload names
-// still produce a stable key and fail later at run time with a useful
+// KeyOf computes the content address of a request. The config enters
+// via Config.Fingerprint() — a canonical hash that excludes the
+// display Name — so identically-parameterized configs under different
+// names (or no name at all) share one cache entry and one in-flight
+// simulation. The workload name is canonicalized (short name) so
+// "mcf" and "429.mcf" share a key; unresolvable workload names still
+// produce a stable key and fail later at run time with a useful
 // error.
 func KeyOf(req Request) Key {
 	canonical := struct {
-		Version int `json:"version"`
-		Request
-	}{schemaVersion, req}
-	canonical.Config.Name = ""
+		Version     int    `json:"version"`
+		Fingerprint string `json:"fingerprint"`
+		Workload    string `json:"workload"`
+		Warmup      uint64 `json:"warmup"`
+		Measure     uint64 `json:"measure"`
+	}{schemaVersion, req.Config.Fingerprint(), req.Workload, req.Warmup, req.Measure}
 	if w, err := eole.WorkloadByName(req.Workload); err == nil {
 		canonical.Workload = w.Short
 	}
-	// encoding/json writes struct fields in declaration order and
-	// Config is plain data (no maps, no pointers), so the encoding is
-	// deterministic.
 	b, err := json.Marshal(canonical)
 	if err != nil {
-		// Config and Request contain only marshalable scalar fields;
+		// The canonical struct contains only marshalable scalar fields;
 		// reaching this is a programming error, not an input error.
 		panic(fmt.Sprintf("simsvc: cannot marshal request: %v", err))
 	}

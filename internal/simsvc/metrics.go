@@ -7,17 +7,18 @@ import (
 
 // metrics is the service's internal atomic counter set.
 type metrics struct {
-	submitted   atomic.Uint64
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	canceled    atomic.Uint64
-	simsRun     atomic.Uint64
-	cacheHits   atomic.Uint64
-	diskHits    atomic.Uint64
-	cacheMisses atomic.Uint64
-	coalesced   atomic.Uint64
-	simNanos    atomic.Int64
-	simOps      atomic.Uint64
+	submitted     atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	canceled      atomic.Uint64
+	simsRun       atomic.Uint64
+	abandonedRuns atomic.Uint64
+	cacheHits     atomic.Uint64
+	diskHits      atomic.Uint64
+	cacheMisses   atomic.Uint64
+	coalesced     atomic.Uint64
+	simNanos      atomic.Int64
+	simOps        atomic.Uint64
 
 	// Trace-driven simulation (zero when Options.Traces is off).
 	tracesRecorded   atomic.Uint64
@@ -43,12 +44,16 @@ type Stats struct {
 	// counts jobs that joined an identical in-flight simulation
 	// (single-flight), so SimsRun + CacheHits + Coalesced ==
 	// JobsCompleted when nothing failed.
-	SimsRun     uint64 `json:"sims_run"`
-	CacheHits   uint64 `json:"cache_hits"`
-	DiskHits    uint64 `json:"disk_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
-	Coalesced   uint64 `json:"coalesced"`
-	CacheSize   int    `json:"cache_size"`
+	SimsRun uint64 `json:"sims_run"`
+	// SimsAbandoned counts running simulations canceled mid-flight
+	// because every waiter's context died (client disconnects, expired
+	// sweep deadlines).
+	SimsAbandoned uint64 `json:"sims_abandoned"`
+	CacheHits     uint64 `json:"cache_hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Coalesced     uint64 `json:"coalesced"`
+	CacheSize     int    `json:"cache_size"`
 
 	// Throughput. SimWallTime is the summed wall time of executed
 	// simulations (overlapping across workers); SimulatedOps counts
@@ -82,6 +87,7 @@ func (m *metrics) snapshot(cacheSize int) Stats {
 		JobsFailed:    m.failed.Load(),
 		JobsCanceled:  m.canceled.Load(),
 		SimsRun:       m.simsRun.Load(),
+		SimsAbandoned: m.abandonedRuns.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		DiskHits:      m.diskHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),

@@ -254,8 +254,11 @@ func New(opts Options) (*Service, error) {
 // Submit enqueues one request and returns its job handle. A request
 // whose result is already cached completes immediately; a request
 // identical to one already queued or running joins it instead of
-// simulating twice. ctx cancels the job while it is still queued (a
-// running simulation is not preempted) and bounds the enqueue itself.
+// simulating twice. ctx bounds the enqueue, cancels the job while it
+// is still queued, and — once every job coalesced onto the same
+// simulation has a dead context — aborts the simulation itself at the
+// core's next cancellation checkpoint (a running simulation with at
+// least one live waiter is never preempted).
 func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -375,7 +378,7 @@ func (sw *Sweep) Wait(ctx context.Context) ([]*eole.Report, error) {
 	for i, j := range sw.Jobs {
 		r, err := j.Wait(ctx)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("%s on %s: %w", j.req.Config.Name, j.req.Workload, err))
+			errs = append(errs, fmt.Errorf("%s on %s: %w", j.req.label(), j.req.Workload, err))
 			continue
 		}
 		reports[i] = r
@@ -384,7 +387,9 @@ func (sw *Sweep) Wait(ctx context.Context) ([]*eole.Report, error) {
 }
 
 // Cross builds the (config × workload) request grid every figure-style
-// sweep uses, in row-major (config-major) order.
+// sweep uses, in row-major (config-major) order. For sweeps over
+// design-space axes, build the config list with an eole.Grid (or use
+// FromGrid) instead of enumerating configs by hand.
 func Cross(cfgs []eole.Config, workloads []string, warmup, measure uint64) []Request {
 	reqs := make([]Request, 0, len(cfgs)*len(workloads))
 	for _, c := range cfgs {
@@ -393,6 +398,17 @@ func Cross(cfgs []eole.Config, workloads []string, warmup, measure uint64) []Req
 		}
 	}
 	return reqs
+}
+
+// FromGrid cartesian-expands a design-space grid and crosses the
+// resulting configurations with the workloads: the request list for
+// one figure-style sweep, ready for SubmitSweep.
+func FromGrid(g eole.Grid, workloads []string, warmup, measure uint64) ([]Request, error) {
+	cfgs, err := g.Configs()
+	if err != nil {
+		return nil, err
+	}
+	return Cross(cfgs, workloads, warmup, measure), nil
 }
 
 // Stats snapshots the service counters.
@@ -490,8 +506,26 @@ func (s *Service) run(t *task) {
 		return
 	}
 
-	r, err := s.simulate(t.req)
+	// Simulate under a context a watcher cancels once every attached
+	// job's submit context has died: a running simulation whose waiters
+	// are all gone (HTTP clients disconnected, sweep contexts expired)
+	// is abandoned at the core's next cancellation checkpoint instead
+	// of burning a worker to completion.
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	stopWatch := make(chan struct{})
+	go s.watchWaiters(t, cancelRun, stopWatch)
+	r, err := s.simulate(runCtx, t.req)
+	close(stopWatch)
+	// Read the abandonment verdict before releasing the context: after
+	// cancelRun, runCtx.Err() is non-nil for ordinary failures too.
+	abandoned := runCtx.Err() != nil
+	cancelRun()
 	if err != nil {
+		if abandoned {
+			s.m.abandonedRuns.Add(1)
+			s.finishAbandoned(t)
+			return
+		}
 		for _, j := range s.detach(t) {
 			s.m.failed.Add(1)
 			j.complete(nil, err, false)
@@ -513,7 +547,104 @@ func (s *Service) run(t *task) {
 	s.cache.spillDisk(t.key, r)
 }
 
-func (s *Service) simulate(req Request) (*eole.Report, error) {
+// waiterPollInterval is how often a running task re-checks that
+// somebody still wants its result. It bounds the detection latency of
+// "all waiters gone"; the simulation itself then stops at the core's
+// next cancellation checkpoint.
+const waiterPollInterval = 25 * time.Millisecond
+
+// watchWaiters cancels a running task's context once every job
+// attached to it has a dead submit context. Jobs that coalesce onto
+// the task mid-run extend its life — they are visible here because
+// t.jobs is read under the service lock. The watcher exits when the
+// simulation finishes (stop) or when it pulls the trigger.
+func (s *Service) watchWaiters(t *task, cancel context.CancelFunc, stop <-chan struct{}) {
+	ticker := time.NewTicker(waiterPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			live := false
+			for _, j := range t.jobs {
+				if j.ctx.Err() == nil {
+					live = true
+					break
+				}
+			}
+			s.mu.Unlock()
+			if !live {
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// finishAbandoned resolves a task whose simulation was canceled
+// mid-run. Jobs whose submit context died complete with that error; a
+// job that coalesced onto the task after the watcher pulled the
+// trigger (a narrow race the inflight map allows) is re-enqueued so
+// it still gets its simulation.
+func (s *Service) finishAbandoned(t *task) {
+	s.mu.Lock()
+	var dead, live []*Job
+	for _, j := range t.jobs {
+		if j.ctx.Err() != nil {
+			dead = append(dead, j)
+		} else {
+			live = append(live, j)
+		}
+	}
+	requeue := false
+	if len(live) == 0 {
+		delete(s.inflight, t.key)
+		t.jobs = nil
+	} else if s.closed {
+		// The queue may already be closed; fail the stragglers.
+		delete(s.inflight, t.key)
+		t.jobs = nil
+	} else {
+		t.jobs = live
+		t.running = false
+		s.senders.Add(1) // under mu: Close cannot have passed its closed check yet
+		requeue = true
+	}
+	s.mu.Unlock()
+	for _, j := range dead {
+		s.m.canceled.Add(1)
+		j.complete(nil, j.ctx.Err(), false)
+	}
+	switch {
+	case requeue:
+		go func() {
+			defer s.senders.Done()
+			select {
+			case s.queue <- t:
+			case <-s.ctx.Done():
+				s.abandon(t, ErrClosed)
+			}
+		}()
+	default:
+		for _, j := range live {
+			s.m.canceled.Add(1)
+			j.complete(nil, ErrClosed, false)
+		}
+	}
+}
+
+func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, err error) {
+	// Validate rejects every configuration known to break the core,
+	// but configs arrive from untrusted sources (inline HTTP objects):
+	// a residual pathological case must fail its own job, not take the
+	// whole service down with a worker panic.
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("%s on %s: simulator panic: %v", req.label(), req.Workload, p)
+		}
+	}()
 	w, err := eole.WorkloadByName(req.Workload)
 	if err != nil {
 		return nil, err
@@ -523,23 +654,29 @@ func (s *Service) simulate(req Request) (*eole.Report, error) {
 	// accounted separately in TraceRecordTime, not in SimWallTime.
 	t := s.traceSource(w, req)
 	start := time.Now()
-	var r *eole.Report
 	if t != nil {
 		// Trace-driven: replay the recorded stream. Byte-identical to
 		// execute-driven by construction; a trace that fails to attach
-		// (e.g. recorded against an older program build) falls back.
-		r, err = eole.Simulate(req.Config, w, req.Warmup, req.Measure, eole.WithReplay(t))
-		if err == nil {
+		// (e.g. recorded against an older program build) falls back —
+		// but a canceled run is cancellation, not a trace problem.
+		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, eole.WithReplay(t))
+		switch {
+		case err == nil:
 			s.m.traceReplays.Add(1)
-		} else {
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
 			s.m.traceFallbacks.Add(1)
 			r = nil
 		}
 	}
 	if r == nil {
-		r, err = eole.Simulate(req.Config, w, req.Warmup, req.Measure)
+		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure)
 		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", req.Config.Name, req.Workload, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("%s on %s: %w", req.label(), req.Workload, err)
 		}
 	}
 	s.m.simsRun.Add(1)
