@@ -30,12 +30,22 @@
 // whose waiters are all gone is abandoned at the core's next
 // cancellation checkpoint.
 //
+// Sampled simulation: /v1/simulate and /v1/sweep take an optional
+// "sampling" object ({"windows":8,"skip":0,"warm":40000}): the run
+// then alternates functional-warming fast-forwards with short
+// detailed measurement windows (SMARTS-style), and the report carries
+// "ipc" as the window mean plus "ipc_ci" (the 95% confidence
+// half-width), "sampled" and "sample_windows". Sampled and full runs
+// never share a cache entry. Intended for the long-* workloads, whose
+// recommended ~12M-µ-op streams are intractable to simulate in full.
+//
 // Example:
 //
 //	eoled -addr :8080 -cache-dir /var/cache/eole -trace-dir /var/cache/eole-traces &
 //	curl -s localhost:8080/v1/simulate -d '{"config":"EOLE_4_64","workload":"namd"}'
 //	curl -s localhost:8080/v1/simulate -d '{"config":{"IssueWidth":5,...},"workload":"namd"}'
 //	curl -s localhost:8080/v1/sweep -d '{"grid":{"base_name":"EOLE_4_64","axes":[{"option":"PRFBanks","values":[2,4,8]}]},"workloads":["namd"]}'
+//	curl -s localhost:8080/v1/simulate -d '{"config":"EOLE_4_64","workload":"long-dram","warmup":50000,"measure":160000,"sampling":{"windows":8,"warm":40000}}'
 package main
 
 import (

@@ -116,12 +116,17 @@ func (c configRef) resolve() (eole.Config, error) {
 
 // simulateRequest is the wire form of one simulation ask. Config is a
 // named configuration or an inline config object; Warmup/Measure
-// default to the server's run lengths when zero.
+// default to the server's run lengths when zero. Sampling, when
+// present, runs the simulation sampled: warmup becomes functional
+// warming, measure the total detailed budget across the spec's
+// windows, and the response carries "ipc_ci" (the 95% confidence
+// half-width) plus "sampled" and "sample_windows".
 type simulateRequest struct {
-	Config   configRef `json:"config"`
-	Workload string    `json:"workload"`
-	Warmup   uint64    `json:"warmup,omitempty"`
-	Measure  uint64    `json:"measure,omitempty"`
+	Config   configRef          `json:"config"`
+	Workload string             `json:"workload"`
+	Warmup   uint64             `json:"warmup,omitempty"`
+	Measure  uint64             `json:"measure,omitempty"`
+	Sampling *eole.SamplingSpec `json:"sampling,omitempty"`
 }
 
 // sweepRequest asks for a (configs × workloads) sweep. Configs mixes
@@ -129,12 +134,15 @@ type simulateRequest struct {
 // cartesian-expands design-space axes ({"option": "PRFBanks",
 // "values": [2,4,8]}) from a base config. Empty Configs and no Grid
 // means "all named configs"; empty Workloads means "all benchmarks".
+// Sampling applies to every cell (see simulateRequest); sampled and
+// full sweeps never share cache entries.
 type sweepRequest struct {
-	Configs   []configRef `json:"configs"`
-	Grid      *eole.Grid  `json:"grid,omitempty"`
-	Workloads []string    `json:"workloads"`
-	Warmup    uint64      `json:"warmup,omitempty"`
-	Measure   uint64      `json:"measure,omitempty"`
+	Configs   []configRef        `json:"configs"`
+	Grid      *eole.Grid         `json:"grid,omitempty"`
+	Workloads []string           `json:"workloads"`
+	Warmup    uint64             `json:"warmup,omitempty"`
+	Measure   uint64             `json:"measure,omitempty"`
+	Sampling  *eole.SamplingSpec `json:"sampling,omitempty"`
 }
 
 // sweepResult is one cell of the grid; exactly one of Report/Error is
@@ -244,12 +252,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	warmup, measure, err := s.runLengths(req.Warmup, req.Measure)
+	warmup, measure, err := s.runLengths(req.Warmup, req.Measure, req.Sampling)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	reqs := simsvc.Cross(cfgs, req.Workloads, warmup, measure)
+	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, req.Workloads, warmup, measure), req.Sampling)
 	sweep, err := s.svc.SubmitSweep(r.Context(), reqs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -325,7 +333,9 @@ type workloadInfo struct {
 }
 
 func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
-	all := eole.Workloads()
+	// The Table 3 suite, then the long-* phased family (requestable
+	// by name but excluded from empty-Workloads sweep defaults).
+	all := append(eole.Workloads(), eole.LongWorkloads()...)
 	infos := make([]workloadInfo, len(all))
 	for i, wl := range all {
 		infos[i] = workloadInfo{
@@ -356,6 +366,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+// sampledStreamFactor scales the maxUops ceiling for a sampled
+// request's total stream consumption (warmup + every window's skip,
+// warm and measure phases): fast-forwarded µ-ops cost roughly an
+// order of magnitude less than detailed ones, so a sampled request
+// may walk a stream this many times longer than a full run's ceiling
+// before it threatens the worker pool.
+const sampledStreamFactor = 16
+
 // buildRequest resolves the config reference (named or inline),
 // applies defaults and enforces the run length ceiling.
 func (s *server) buildRequest(req simulateRequest) (simsvc.Request, error) {
@@ -366,15 +384,17 @@ func (s *server) buildRequest(req simulateRequest) (simsvc.Request, error) {
 	if _, err := eole.WorkloadByName(req.Workload); err != nil {
 		return simsvc.Request{}, err
 	}
-	warmup, measure, err := s.runLengths(req.Warmup, req.Measure)
+	warmup, measure, err := s.runLengths(req.Warmup, req.Measure, req.Sampling)
 	if err != nil {
 		return simsvc.Request{}, err
 	}
-	return simsvc.Request{Config: cfg, Workload: req.Workload, Warmup: warmup, Measure: measure}, nil
+	return simsvc.Request{Config: cfg, Workload: req.Workload, Warmup: warmup, Measure: measure, Sampling: req.Sampling}, nil
 }
 
-// runLengths applies the server defaults and the per-request ceiling.
-func (s *server) runLengths(warmup, measure uint64) (uint64, uint64, error) {
+// runLengths applies the server defaults and the per-request ceiling;
+// with a sampling spec it also validates the spec and bounds the
+// total stream the schedule would consume.
+func (s *server) runLengths(warmup, measure uint64, sampling *eole.SamplingSpec) (uint64, uint64, error) {
 	if warmup == 0 {
 		warmup = s.defaultWarmup
 	}
@@ -384,6 +404,35 @@ func (s *server) runLengths(warmup, measure uint64) (uint64, uint64, error) {
 	// Overflow-safe ceiling check: warmup+measure can wrap uint64.
 	if s.maxUops > 0 && (warmup > s.maxUops || measure > s.maxUops-warmup) {
 		return 0, 0, fmt.Errorf("run length %d+%d µ-ops exceeds server limit %d", warmup, measure, s.maxUops)
+	}
+	if sampling != nil {
+		// Plan both validates the spec and rejects schedules that do
+		// not resolve against this measure budget (e.g. more windows
+		// than measured µ-ops) with an error naming the real problem.
+		plan, err := sampling.Plan(measure)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s.maxUops > 0 {
+			// Detailed (cycle-accurate) work is the expensive part,
+			// and an explicit per-window spec Measure can exceed the
+			// request-level budget checked above — hold the
+			// schedule's detailed total to the same maxUops ceiling
+			// a full run gets.
+			perWindow := plan.Measure + plan.DetailWarmup
+			if detailed := perWindow * uint64(plan.Windows); perWindow != 0 && (detailed/perWindow != uint64(plan.Windows) || detailed > s.maxUops) {
+				return 0, 0, fmt.Errorf("sampled schedule simulates %d × %d detailed µ-ops, exceeding server limit %d",
+					plan.Windows, perWindow, s.maxUops)
+			}
+			budget := s.maxUops * sampledStreamFactor
+			if budget/sampledStreamFactor != s.maxUops { // overflowed
+				budget = 1<<64 - 1
+			}
+			if need := sampling.StreamNeed(warmup, measure); need > budget {
+				return 0, 0, fmt.Errorf("sampled schedule consumes %d stream µ-ops, exceeding the server limit %d (%d × %d)",
+					need, budget, s.maxUops, sampledStreamFactor)
+			}
+		}
 	}
 	return warmup, measure, nil
 }

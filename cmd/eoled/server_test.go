@@ -211,8 +211,9 @@ func TestListingAndStats(t *testing.T) {
 	if rec := getJSON(t, h, "/v1/workloads", &wls); rec.Code != http.StatusOK {
 		t.Fatalf("/v1/workloads: %d", rec.Code)
 	}
-	if len(wls.Workloads) != 19 {
-		t.Errorf("%d workloads, want 19", len(wls.Workloads))
+	// The Table 3 suite plus the long-* phased family.
+	if want := 19 + len(eole.LongWorkloads()); len(wls.Workloads) != want {
+		t.Errorf("%d workloads, want %d", len(wls.Workloads), want)
 	}
 
 	// Run one sim, then check the counters moved.

@@ -5,6 +5,7 @@
 //
 //	eolesim -config EOLE_4_64 -workload namd -warmup 50000 -n 200000
 //	eolesim -config EOLE_4_64 -workload namd -json
+//	eolesim -config EOLE_4_64 -workload long-dram -sample-windows 8 -sample-warm 40000
 //	eolesim -config my_machine.json -workload namd           # custom config from JSON
 //	eolesim -config EOLE_4_64 -dump-config > my_machine.json # export a config to edit
 //	eolesim -workload namd -record -tracedir traces          # record µ-op trace
@@ -26,6 +27,16 @@
 // a byte-identical report. A missing, corrupt or version-mismatched
 // trace file makes -replay fall back to execute-driven simulation
 // with a warning on stderr.
+//
+// Sampled simulation: -sample-windows N (with -sample-skip,
+// -sample-warm, -sample-measure, -sample-detail) runs SMARTS-style
+// sampling instead of one contiguous region: -warmup µ-ops of
+// functional warming, then N windows that skip, functionally warm,
+// and measure in detail, reporting IPC with a 95% confidence interval
+// ("IPC 1.234 ± 0.017"). -n remains the total detailed budget,
+// divided evenly across windows unless -sample-measure fixes a
+// per-window length. Intended for the long-* phased workloads, whose
+// ~12M-µ-op streams are intractable to simulate in full.
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"eole"
 	"eole/internal/core"
 	"eole/internal/prog"
+	"eole/internal/sample"
 	"eole/internal/trace"
 	"eole/internal/workload"
 )
@@ -56,6 +68,12 @@ func main() {
 		record   = flag.Bool("record", false, "record the workload's µ-op stream to <tracedir>/<workload>.trace and exit (unless -replay)")
 		replay   = flag.Bool("replay", false, "replay the recorded µ-op stream instead of re-interpreting the workload")
 		tracedir = flag.String("tracedir", "traces", "directory for recorded µ-op traces")
+
+		sampleWin     = flag.Int("sample-windows", 0, "run sampled simulation with this many measurement windows (0 = full run)")
+		sampleSkip    = flag.Uint64("sample-skip", 0, "per-window fast-forward µ-ops with no state updates")
+		sampleWarm    = flag.Uint64("sample-warm", 40_000, "per-window functional-warming µ-ops (predictors + caches, no cycles)")
+		sampleMeasure = flag.Uint64("sample-measure", 0, "per-window measured µ-ops (0 = divide -n across windows)")
+		sampleDetail  = flag.Uint64("sample-detail", 0, "detailed pre-measure µ-ops per window, discarded from stats (0 = default)")
 	)
 	flag.Parse()
 
@@ -102,6 +120,10 @@ func main() {
 		for _, w := range eole.Workloads() {
 			fmt.Printf("  %-12s (%s)  paper IPC %.3f  %s\n", w.Short, w.Name, w.PaperIPC, w.Description)
 		}
+		fmt.Println("Long phased workloads (intended for -sample-windows):")
+		for _, w := range eole.LongWorkloads() {
+			fmt.Printf("  %-12s %s\n", w.Short, w.Description)
+		}
 		return
 	}
 	if *disasm != "" {
@@ -117,9 +139,44 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	cfg, err := resolveConfig(*cfgName)
+	if err != nil {
+		fail(err)
+	}
+
+	var spec *eole.SamplingSpec
+	if *sampleWin > 0 {
+		spec = &eole.SamplingSpec{
+			Windows:      *sampleWin,
+			Skip:         *sampleSkip,
+			Warm:         *sampleWarm,
+			Measure:      *sampleMeasure,
+			DetailWarmup: *sampleDetail,
+		}
+		// Plan validates the spec and additionally catches schedules
+		// that don't resolve against -n (e.g. more windows than
+		// measured µ-ops) before any work happens.
+		if _, err := spec.Plan(*n); err != nil {
+			fail(err)
+		}
+	}
+	// A sampled run consumes its whole window schedule from the
+	// source, so traces must cover the full stream, not just
+	// warmup+measure (saturating: StreamNeed caps at MaxUint64). A
+	// custom machine that fetches further ahead than the sampler's
+	// per-window flush budget discards more µ-ops at each window
+	// boundary, so that shortfall scales with the window count.
+	need := *warmup + *n
+	if spec != nil {
+		need = spec.StreamNeed(*warmup, *n)
+		if slack := eole.TraceSlackFor(cfg); slack > sample.FlushAllowance {
+			need = satAdd(need, (slack-sample.FlushAllowance)*uint64(spec.Windows))
+		}
+	}
+	need = satAdd(need, eole.TraceSlackFor(cfg))
 
 	if *record {
-		if err := recordTrace(w, *warmup+*n+eole.TraceSlack, *tracedir); err != nil {
+		if err := recordTrace(w, need, *tracedir); err != nil {
 			fail(err)
 		}
 		if !*replay {
@@ -127,13 +184,12 @@ func main() {
 		}
 	}
 
-	cfg, err := resolveConfig(*cfgName)
-	if err != nil {
-		fail(err)
-	}
 	var opts []eole.SimOption
+	if spec != nil {
+		opts = append(opts, eole.WithSampling(*spec))
+	}
 	if *replay {
-		if t := loadTrace(w, *warmup+*n+eole.TraceSlack, *tracedir); t != nil {
+		if t := loadTrace(w, need, *tracedir); t != nil {
 			opts = append(opts, eole.WithReplay(t))
 		}
 	}
@@ -215,6 +271,15 @@ func loadTrace(w eole.Workload, need uint64, dir string) *eole.Trace {
 		return warn("%v", err)
 	}
 	return t
+}
+
+// satAdd adds saturating at MaxUint64 (trace-need arithmetic must
+// never wrap to a tiny recording).
+func satAdd(a, b uint64) uint64 {
+	if a > ^uint64(0)-b {
+		return ^uint64(0)
+	}
+	return a + b
 }
 
 func fail(err error) {

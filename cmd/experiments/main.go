@@ -6,6 +6,7 @@
 //	experiments figure7 figure12   # selected artefacts
 //	experiments -measure 300000 -warmup 100000 figure6
 //	experiments -workloads namd,mcf figure7
+//	experiments -sample-windows 8 -sample-warm 40000 figure7   # sampled sweeps
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"eole"
 	"eole/internal/experiments"
 	"eole/internal/simsvc"
 )
@@ -30,6 +32,10 @@ func main() {
 		stats    = flag.Bool("stats", false, "print simulation-service statistics at exit")
 		traces   = flag.Bool("traces", true, "interpret each workload once and replay its µ-op trace per config")
 		traceDir = flag.String("trace-dir", "", "persist recorded µ-op traces to this directory (implies -traces)")
+
+		sampleWin  = flag.Int("sample-windows", 0, "run every sweep sampled with this many measurement windows (0 = full runs)")
+		sampleSkip = flag.Uint64("sample-skip", 0, "per-window fast-forward µ-ops with no state updates")
+		sampleWarm = flag.Uint64("sample-warm", 40_000, "per-window functional-warming µ-ops")
 	)
 	flag.Parse()
 
@@ -59,6 +65,14 @@ func main() {
 	}
 	if *wls != "" {
 		opts.Workloads = strings.Split(*wls, ",")
+	}
+	if *sampleWin > 0 {
+		spec := eole.SamplingSpec{Windows: *sampleWin, Skip: *sampleSkip, Warm: *sampleWarm}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.Sampling = &spec
 	}
 
 	ids := flag.Args()
@@ -97,8 +111,8 @@ func main() {
 	}
 	if *stats {
 		st := svc.Stats()
-		fmt.Fprintf(os.Stderr, "simsvc: %d sims run, %d cache hits (%d from disk), %d coalesced, %.0f µ-ops/s/worker over %s\n",
-			st.SimsRun, st.CacheHits, st.DiskHits, st.Coalesced, st.UopsPerSec, st.SimWallTime.Round(1e6))
+		fmt.Fprintf(os.Stderr, "simsvc: %d sims run (%d sampled), %d cache hits (%d from disk), %d coalesced, %.0f µ-ops/s/worker over %s\n",
+			st.SimsRun, st.SimsSampled, st.CacheHits, st.DiskHits, st.Coalesced, st.UopsPerSec, st.SimWallTime.Round(1e6))
 		if svc.TracesEnabled() {
 			fmt.Fprintf(os.Stderr, "traces: %d recorded in %s, %d replays, %d fallbacks\n",
 				st.TracesRecorded, st.TraceRecordTime.Round(1e6), st.TraceReplays, st.TraceFallbacks)

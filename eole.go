@@ -38,6 +38,7 @@ import (
 	"eole/internal/config"
 	"eole/internal/core"
 	"eole/internal/prog"
+	"eole/internal/sample"
 	"eole/internal/trace"
 	"eole/internal/workload"
 )
@@ -74,8 +75,20 @@ func Workloads() []Workload { return workload.All() }
 func WorkloadNames() []string { return workload.Names() }
 
 // WorkloadByName resolves a benchmark by short ("mcf") or full
-// ("429.mcf") name.
+// ("429.mcf") name, including the long-* phased family.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// LongWorkloads returns the long-* phased family: kernels whose
+// behaviour rotates through compute / scramble / stream phases over
+// recommended streams of ~12M µ-ops — 50-100× the default measured
+// region, tractable only with sampled simulation (WithSampling).
+// They are not part of Workloads(): the Table 3 suite and the figure
+// sweeps stay at the paper's 19 benchmarks.
+func LongWorkloads() []Workload { return workload.LongAll() }
+
+// LongWorkloadUops is the recommended sampled-run stream extent for
+// the long-* family.
+const LongWorkloadUops = workload.LongRecommendedUops
 
 // Trace is a recorded µ-op stream (see internal/trace): the committed
 // dynamic stream of one workload, interpreted once and replayable by
@@ -106,11 +119,33 @@ func TraceSlackFor(cfg Config) uint64 {
 // exactly, record warmup+measure+TraceSlack µ-ops.
 func RecordTrace(w Workload, n uint64) *Trace { return trace.Record(w, n) }
 
+// SamplingSpec configures SMARTS-style sampled simulation (see
+// internal/sample): per measurement window, Skip µ-ops are
+// fast-forwarded with no state updates, Warm µ-ops functionally train
+// the predictors, caches and Store Sets, and Measure µ-ops are
+// simulated cycle by cycle. The sampled IPC is the mean of the
+// per-window IPCs with a CLT 95% confidence interval.
+type SamplingSpec = sample.Spec
+
 // SimOption customizes NewSimulator / Simulate.
 type SimOption func(*simOptions)
 
 type simOptions struct {
-	replay *Trace
+	replay   *Trace
+	sampling *sample.Spec
+}
+
+// WithSampling switches Simulate / SimulateContext to sampled
+// execution: the warmup argument is applied as functional warming
+// before the first window, and the measure argument is the total
+// detailed budget, divided evenly across the spec's windows (unless
+// the spec fixes a per-window Measure). The report then carries the
+// confidence interval: IPC is the mean of the per-window IPCs,
+// IPCCI its 95% half-width, and Sampled is set. Composes with
+// WithReplay — the windows then fast-forward through the recorded
+// trace instead of the interpreter.
+func WithSampling(spec SamplingSpec) SimOption {
+	return func(o *simOptions) { o.sampling = &spec }
 }
 
 // WithReplay makes the simulator pull its µ-op stream from the
@@ -126,10 +161,11 @@ func WithReplay(t *Trace) SimOption {
 
 // Simulator runs one workload on one machine configuration.
 type Simulator struct {
-	cfg    Config
-	wl     Workload
-	core   *core.Core
-	replay bool
+	cfg      Config
+	wl       Workload
+	core     *core.Core
+	replay   bool
+	sampling *sample.Spec
 }
 
 // NewSimulator builds a simulator. By default the µ-op stream comes
@@ -148,6 +184,11 @@ func NewSimulator(cfg Config, w Workload, opts ...SimOption) (*Simulator, error)
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.sampling != nil {
+		if err := o.sampling.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	var src prog.Source
 	if o.replay != nil {
 		rs, err := o.replay.SourceFor(w)
@@ -158,15 +199,29 @@ func NewSimulator(cfg Config, w Workload, opts ...SimOption) (*Simulator, error)
 	} else {
 		src = prog.MachineSource{M: w.NewMachine()}
 	}
-	return &Simulator{cfg: cfg, wl: w, core: core.New(cfg, src), replay: o.replay != nil}, nil
+	return &Simulator{
+		cfg:      cfg,
+		wl:       w,
+		core:     core.New(cfg, src),
+		replay:   o.replay != nil,
+		sampling: o.sampling,
+	}, nil
 }
 
 // TraceDriven reports whether the simulator replays a recorded trace
 // rather than running the functional interpreter.
 func (s *Simulator) TraceDriven() bool { return s.replay }
 
+// Sampled reports whether the simulator was built with WithSampling.
+// A sampled simulator runs its schedule through Sample/SampleContext
+// (which Simulate/SimulateContext call); the step-wise Run/Measure
+// methods always simulate in detail, spec or no spec.
+func (s *Simulator) Sampled() bool { return s.sampling != nil }
+
 // Run simulates n committed µ-ops (training predictors and warming
-// caches) and returns the running report.
+// caches) and returns the running report. Run is always detailed —
+// on a simulator built with WithSampling, use Sample/SampleContext
+// (or the package-level Simulate) to execute the sampled schedule.
 func (s *Simulator) Run(n uint64) *Report {
 	s.core.Run(n)
 	return s.report()
@@ -203,8 +258,13 @@ func (s *Simulator) Config() Config { return s.cfg }
 // Workload returns the simulated benchmark.
 func (s *Simulator) Workload() Workload { return s.wl }
 
-func (s *Simulator) report() *Report {
-	st := s.core.Stats()
+func (s *Simulator) report() *Report { return s.reportFrom(s.core.Stats()) }
+
+// reportFrom builds a report from an explicit counter set (the core's
+// own for full runs, the summed measured-window counters for sampled
+// runs). Predictor and cache rates always come from the core's
+// cumulative state.
+func (s *Simulator) reportFrom(st *core.Stats) *Report {
 	bp := s.core.Branch()
 	mem := s.core.Memory()
 	return &Report{
@@ -286,6 +346,17 @@ type Report struct {
 	LEVTPortStalls   uint64 `json:"levt_port_stalls"`
 	RenameBankStalls uint64 `json:"rename_bank_stalls"`
 
+	// Sampled simulation (zero / absent on full runs). When Sampled
+	// is set, IPC is the mean of SampleWindows per-window IPCs and
+	// IPCCI is the CLT 95% confidence half-width: the estimate's
+	// claim is IPC ± IPCCI. Cycles/Committed and the raw counters sum
+	// over the measured windows only; cache and predictor rates are
+	// cumulative (they include functional warming, which is the
+	// point of warming).
+	Sampled       bool    `json:"sampled,omitempty"`
+	IPCCI         float64 `json:"ipc_ci,omitempty"`
+	SampleWindows int     `json:"sample_windows,omitempty"`
+
 	raw core.Stats
 }
 
@@ -320,8 +391,13 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 // String renders a human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s on %s: IPC %.3f over %d cycles (%d µ-ops)\n",
-		r.Config, r.Benchmark, r.IPC, r.Cycles, r.Committed)
+	if r.Sampled {
+		fmt.Fprintf(&b, "%s on %s: IPC %.3f ± %.3f (95%% CI, %d sampled windows; %d measured µ-ops)\n",
+			r.Config, r.Benchmark, r.IPC, r.IPCCI, r.SampleWindows, r.Committed)
+	} else {
+		fmt.Fprintf(&b, "%s on %s: IPC %.3f over %d cycles (%d µ-ops)\n",
+			r.Config, r.Benchmark, r.IPC, r.Cycles, r.Committed)
+	}
 	fmt.Fprintf(&b, "  offload: %.1f%% (early %.1f%%, late ALU %.1f%%, late branches %.1f%%)\n",
 		100*r.OffloadFraction, 100*r.EEFraction,
 		100*(r.LEFraction-r.LEBranchFrac), 100*r.LEBranchFrac)
@@ -336,14 +412,10 @@ func (r *Report) String() string {
 
 // Simulate is the one-call convenience API: warm up, then measure.
 // Options select the µ-op source (e.g. WithReplay for trace-driven
-// simulation).
+// simulation) and the execution mode (WithSampling for a sampled
+// estimate instead of a full run).
 func Simulate(cfg Config, w Workload, warmup, measure uint64, opts ...SimOption) (*Report, error) {
-	sim, err := NewSimulator(cfg, w, opts...)
-	if err != nil {
-		return nil, err
-	}
-	sim.Run(warmup)
-	return sim.Measure(measure), nil
+	return SimulateContext(context.Background(), cfg, w, warmup, measure, opts...)
 }
 
 // SimulateContext is Simulate with cooperative cancellation: when ctx
@@ -356,6 +428,9 @@ func SimulateContext(ctx context.Context, cfg Config, w Workload, warmup, measur
 	if err != nil {
 		return nil, err
 	}
+	if sim.sampling != nil {
+		return sim.SampleContext(ctx, warmup, measure)
+	}
 	if _, err := sim.RunContext(ctx, warmup); err != nil {
 		return nil, err
 	}
@@ -363,5 +438,49 @@ func SimulateContext(ctx context.Context, cfg Config, w Workload, warmup, measur
 	if err != nil {
 		return nil, err
 	}
+	return r, nil
+}
+
+// Sample executes the WithSampling schedule on a fresh simulator:
+// warmup µ-ops of functional warming, then the spec's (skip, warm,
+// measure) windows, aggregated into a confidence-bounded report (see
+// SampleContext for the error contract).
+func (s *Simulator) Sample(warmup, measure uint64) (*Report, error) {
+	return s.SampleContext(context.Background(), warmup, measure)
+}
+
+// SampleContext runs the sampled schedule with cooperative
+// cancellation. It fails if the simulator was not built with
+// WithSampling, if the schedule is unresolvable against the measure
+// budget, or if the µ-op source runs dry before every window
+// completes — a truncated estimate does not answer the spec it was
+// asked under, so it is an error rather than a silently-short report
+// (size trace recordings with SamplingSpec.StreamNeed).
+func (s *Simulator) SampleContext(ctx context.Context, warmup, measure uint64) (*Report, error) {
+	if s.sampling == nil {
+		return nil, fmt.Errorf("eole: SampleContext on a simulator built without WithSampling")
+	}
+	plan, err := s.sampling.Plan(measure)
+	if err != nil {
+		return nil, err
+	}
+	if warmup > 0 {
+		if _, err := s.core.WarmContext(ctx, warmup); err != nil {
+			return nil, err
+		}
+	}
+	est, err := sample.Run(ctx, s.core, plan)
+	if err != nil {
+		return nil, err
+	}
+	if est.SourceExhausted {
+		return nil, fmt.Errorf("eole: µ-op source of %s ran dry after %d of %d sampling windows (the schedule needs %d stream µ-ops past warmup)",
+			s.wl.Short, len(est.WindowIPC), plan.Windows, plan.Total())
+	}
+	r := s.reportFrom(&est.Stats)
+	r.IPC = est.IPC
+	r.Sampled = true
+	r.IPCCI = est.IPCHalfWidth
+	r.SampleWindows = len(est.WindowIPC)
 	return r, nil
 }

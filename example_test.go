@@ -211,3 +211,25 @@ func ExampleRecordTrace() {
 	// Baseline_VP_6_64 true
 	// EOLE_4_64 true
 }
+
+// ExampleWithSampling runs a sampled simulation: functional-warming
+// fast-forwards between short detailed windows, and the report
+// carries a 95% confidence interval on IPC.
+func ExampleWithSampling() {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("long-l1") // phased long-* workload
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := eole.SamplingSpec{Windows: 4, Warm: 20_000}
+	r, err := eole.Simulate(cfg, w, 20_000, 40_000, eole.WithSampling(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The estimate's claim is r.IPC ± r.IPCCI.
+	fmt.Println(r.Benchmark, r.Sampled, r.SampleWindows, r.IPC > 0, r.IPCCI >= 0)
+	// Output: long-l1 true 4 true true
+}

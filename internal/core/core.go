@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"reflect"
 
 	"eole/internal/bpred"
 	"eole/internal/cache"
@@ -118,6 +119,19 @@ type Stats struct {
 	CommitStopHead  uint64 // commit cut short: head not complete
 	IssueSaturated  uint64 // cycles the full issue width was used
 	RenameSaturated uint64 // cycles the full rename width was used
+}
+
+// Add accumulates o's counters into s, field by field. It reflects
+// over the struct so a counter added to Stats can never be silently
+// dropped from an aggregation (the sampler sums its measurement
+// windows through this); a non-uint64 field would panic the first
+// aggregating test instead of vanishing.
+func (s *Stats) Add(o *Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(sv.Field(i).Uint() + ov.Field(i).Uint())
+	}
 }
 
 // IPC returns committed µ-ops per cycle.

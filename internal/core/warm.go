@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+
+	"eole/internal/isa"
+	"eole/internal/prog"
+)
+
+// This file is the functional-warming fast path behind sampled
+// simulation (internal/sample): advancing the µ-op stream while
+// training the branch and value predictors, touching the caches and
+// exercising the Store Sets tables — with no cycle accounting and no
+// pipeline occupancy. One warmed µ-op costs an interpreter step plus
+// the predictor updates, an order of magnitude less than a detailed
+// cycle, so a SMARTS-style sampler can keep microarchitectural state
+// hot across long fast-forward gaps and spend detailed simulation
+// only on short measurement windows.
+//
+// Warming is exact for the predictors: the detailed core trains TAGE
+// and the value predictor once per dynamic µ-op, in fetch (program)
+// order, and replayed µ-ops never retrain — which is precisely the
+// order and multiplicity of the warm loop. Cache and Store Sets state
+// is approximate (no overlap, no wrong-timing effects), matching the
+// functional-warming idealization of SMARTS.
+
+// warmCtxCheckInterval is the cancellation-checkpoint granularity of
+// WarmContext/SkipContext in µ-ops (warming runs at tens of millions
+// of µ-ops per second, so checks stay microseconds apart).
+const warmCtxCheckInterval = 8192
+
+// FlushPipeline discards every in-flight µ-op and resets the
+// pipeline's bookkeeping — window, front-end and replay queues, RAT,
+// PRF free lists, queue occupancy counters and fetch control — while
+// leaving predictors, caches, Store Sets and the accumulated Stats
+// untouched. The sampler calls it between a measurement window and
+// the next fast-forward phase: the discarded µ-ops were already
+// fetched (and therefore already trained the predictors), and the
+// source cannot rewind, so dropping them is the consistent way to
+// hand the stream to the warm loop.
+func (c *Core) FlushPipeline() {
+	for i := range c.window {
+		c.window[i] = uop{}
+	}
+	c.head = 0
+	c.count = 0
+	c.headSeq = 0
+	c.fetchQ = c.fetchQ[:0]
+	c.replayQ = nil
+	c.rat = [isa.NumArchRegs]ratEntry{}
+	c.commitB = [isa.NumArchRegs]struct {
+		bank uint8
+		has  bool
+	}{}
+	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
+	for i := range c.divBusyUntil {
+		c.divBusyUntil[i] = 0
+	}
+	for i := range c.fpDivBusyUntil {
+		c.fpDivBusyUntil[i] = 0
+	}
+	c.fetchStallUntil = 0
+	c.fetchBlocked = false
+	c.fetchBlockedBy = 0
+	c.pendingValid = false
+	c.pending = uop{}
+	c.headPortWait = 0
+	c.prf.Reset()
+}
+
+// Warm advances the source by up to n µ-ops in warm-only mode (see
+// the file comment) and returns how many were consumed (< n only when
+// the source ran dry). The pipeline must be empty — call FlushPipeline
+// after a detailed window first.
+func (c *Core) Warm(n uint64) uint64 {
+	done, _ := c.WarmContext(context.Background(), n)
+	return done
+}
+
+// WarmContext is Warm with cooperative cancellation: the loop checks
+// ctx every few thousand µ-ops and returns ctx.Err() when it fires.
+func (c *Core) WarmContext(ctx context.Context, n uint64) (uint64, error) {
+	cDone := ctx.Done()
+	var lastFetchLine uint64 = ^uint64(0)
+	var u uop
+	for done := uint64(0); done < n; done++ {
+		if cDone != nil && done%warmCtxCheckInterval == warmCtxCheckInterval-1 {
+			select {
+			case <-cDone:
+				return done, ctx.Err()
+			default:
+			}
+		}
+		if !c.src.Next(&u.MicroOp) {
+			return done, nil
+		}
+		// Predictors: identical order and multiplicity to detailed
+		// fetch (each dynamic µ-op trains exactly once).
+		c.firstFetchPredict(&u)
+
+		// Instruction cache: one access per fetched line, like the
+		// front end's per-group line probe.
+		if line := u.PC >> 6; line != lastFetchLine {
+			lastFetchLine = line
+			c.mem.Fetch(u.PC, c.now)
+		}
+
+		// Data caches and Store Sets. The nominal one-cycle-per-µ-op
+		// clock keeps MSHR and prefetcher timestamps advancing.
+		switch u.Op.Class() {
+		case isa.ClassLoad:
+			c.mem.Load(u.PC, u.Addr, c.now)
+			c.ss.OnLoadDispatch(u.PC)
+		case isa.ClassStore:
+			c.mem.Store(u.PC, u.Addr, c.now)
+			c.ss.OnStoreDispatch(u.PC, u.Seq)
+			c.ss.OnStoreComplete(u.PC, u.Seq)
+		}
+		c.now++
+	}
+	return n, nil
+}
+
+// Skip advances the source by up to n µ-ops without touching any
+// microarchitectural state at all — the cheapest fast-forward (for an
+// execute-driven source it is the cost of the functional interpreter;
+// for a trace replay it is a cursor bump). It returns how many µ-ops
+// were consumed.
+func (c *Core) Skip(n uint64) uint64 {
+	done, _ := c.SkipContext(context.Background(), n)
+	return done
+}
+
+// SkipContext is Skip with cooperative cancellation.
+func (c *Core) SkipContext(ctx context.Context, n uint64) (uint64, error) {
+	cDone := ctx.Done()
+	var u prog.MicroOp
+	for done := uint64(0); done < n; done++ {
+		if cDone != nil && done%warmCtxCheckInterval == warmCtxCheckInterval-1 {
+			select {
+			case <-cDone:
+				return done, ctx.Err()
+			default:
+			}
+		}
+		if !c.src.Next(&u) {
+			return done, nil
+		}
+	}
+	return n, nil
+}

@@ -45,6 +45,12 @@ type Opts struct {
 	// TraceDir persists recorded traces across runs (implies Traces;
 	// ignored when Service is set).
 	TraceDir string
+	// Sampling, when non-nil, runs every simulation of every figure
+	// sampled (eole.WithSampling): Warmup becomes functional warming
+	// and Measure the total detailed budget per cell. Figures then
+	// build on confidence-bounded IPC estimates — the tables carry the
+	// means; sampled and full results never share cache entries.
+	Sampling *eole.SamplingSpec
 	// Context cancels in-flight sweeps (nil = background).
 	Context context.Context
 }
@@ -106,7 +112,7 @@ func runSet(o Opts, cfgs []eole.Config) (map[runKey]*eole.Report, error) {
 		}
 		defer svc.Close()
 	}
-	reqs := simsvc.Cross(cfgs, o.workloads(), o.Warmup, o.Measure)
+	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, o.workloads(), o.Warmup, o.Measure), o.Sampling)
 	sweep, err := svc.SubmitSweep(ctx, reqs)
 	if err != nil {
 		return nil, err

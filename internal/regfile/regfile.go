@@ -80,6 +80,17 @@ func New(cfg Config) *PRF {
 // Banks returns the bank count.
 func (p *PRF) Banks() int { return p.cfg.Banks }
 
+// Reset returns every register to its bank's free list, keeping the
+// allocation statistics. The core's pipeline flush (sampled
+// simulation's window boundary) resets the PRF in place rather than
+// allocating a fresh one per window.
+func (p *PRF) Reset() {
+	for b := 0; b < p.cfg.Banks; b++ {
+		p.freeInt[b] = p.cfg.IntRegs / p.cfg.Banks
+		p.freeFP[b] = p.cfg.FPRegs / p.cfg.Banks
+	}
+}
+
 // BankFor returns the bank a µ-op at the given position of its rename
 // group must allocate from (round-robin across the group).
 func (p *PRF) BankFor(groupSlot int) int { return groupSlot % p.cfg.Banks }

@@ -1,0 +1,298 @@
+package sample
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/core"
+	"eole/internal/isa"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := Spec{Windows: 8, Warm: 40_000}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, s := range map[string]Spec{
+		"one window":        {Windows: 1, Warm: 1},
+		"zero windows":      {},
+		"negative windows":  {Windows: -4},
+		"too many windows":  {Windows: maxWindows + 1},
+		"huge skip":         {Windows: 4, Skip: maxPhase + 1},
+		"huge warm":         {Windows: 4, Warm: maxPhase + 1},
+		"huge measure":      {Windows: 4, Measure: maxPhase + 1},
+		"huge detailwarmup": {Windows: 4, DetailWarmup: maxPhase + 1},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+}
+
+func TestPlanResolution(t *testing.T) {
+	p, err := Spec{Windows: 8, Warm: 40_000}.Plan(160_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure != 20_000 {
+		t.Errorf("derived per-window measure %d, want 20000", p.Measure)
+	}
+	if p.DetailWarmup != defaultDetailWarmup {
+		t.Errorf("default detail warmup %d, want %d", p.DetailWarmup, defaultDetailWarmup)
+	}
+
+	// An explicit per-window measure wins over the total budget.
+	p, err = Spec{Windows: 4, Measure: 5_000, DetailWarmup: 100}.Plan(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure != 5_000 || p.DetailWarmup != 100 {
+		t.Errorf("explicit fields overridden: %+v", p)
+	}
+
+	// A budget smaller than the window count leaves empty windows.
+	if _, err := (Spec{Windows: 8}).Plan(7); err == nil {
+		t.Error("Plan accepted an empty-window schedule")
+	}
+	if _, err := (Spec{Windows: 1, Warm: 1}).Plan(100); err == nil {
+		t.Error("Plan accepted an invalid spec")
+	}
+}
+
+func TestPlanTotalSaturates(t *testing.T) {
+	// Validate's caps keep any valid Spec far from overflow; Total
+	// must still saturate for raw out-of-range Plans.
+	p := Plan{Windows: 1 << 30, Skip: 1 << 62, Measure: 1 << 62}
+	if got := p.Total(); got != math.MaxUint64 {
+		t.Errorf("Total did not saturate: %d", got)
+	}
+	if s := (Spec{Windows: maxWindows, Skip: maxPhase, Warm: maxPhase, Measure: maxPhase, DetailWarmup: maxPhase}); s.Validate() != nil {
+		t.Error("cap-limit spec should validate")
+	}
+	s := Spec{Windows: 2, Warm: 10}
+	if need := s.StreamNeed(math.MaxUint64-5, 100); need != math.MaxUint64 {
+		t.Errorf("StreamNeed did not saturate: %d", need)
+	}
+	if need := s.StreamNeed(1_000, 100); need <= 1_000 {
+		t.Errorf("StreamNeed %d does not cover warmup plus windows", need)
+	}
+}
+
+// TestStreamConsumedWithinNeed: the exact drawn stream must sit
+// between the nominal schedule and the worst-case budget — and a
+// trace sized by StreamNeed must therefore never run dry mid-phase.
+func TestStreamConsumedWithinNeed(t *testing.T) {
+	s := Spec{Windows: 8, Warm: 40_000}
+	const warmup, measure = 50_000, 160_000
+	p, err := s.Plan(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := warmup + uint64(p.Windows)*p.PerWindow()
+	consumed := s.StreamConsumed(warmup, measure)
+	need := s.StreamNeed(warmup, measure)
+	if consumed < nominal || consumed > need {
+		t.Errorf("StreamConsumed %d outside [nominal %d, need %d]", consumed, nominal, need)
+	}
+	if bad := (Spec{Windows: 8}).StreamConsumed(0, 4); bad != math.MaxUint64 {
+		t.Errorf("unresolvable spec: StreamConsumed %d, want the MaxUint64 sentinel", bad)
+	}
+}
+
+// TestFinalizeMath checks the estimator against hand-computed values:
+// window CPIs {0.5, 0.25} → mean CPI 0.375, sample stddev ~0.17678,
+// half-width 1.96·s/√2 = 0.245, IPC 1/0.375.
+func TestFinalizeMath(t *testing.T) {
+	var e Estimate
+	if err := e.finalize([]float64{0.5, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(e.CPIMean, 0.375) {
+		t.Errorf("CPIMean %v, want 0.375", e.CPIMean)
+	}
+	wantH := 1.96 * math.Sqrt(2*0.125*0.125) / math.Sqrt(2)
+	if !approx(e.CPIHalfWidth, wantH) {
+		t.Errorf("CPIHalfWidth %v, want %v", e.CPIHalfWidth, wantH)
+	}
+	if !approx(e.IPC, 1/0.375) {
+		t.Errorf("IPC %v, want %v", e.IPC, 1/0.375)
+	}
+	// The IPC interval is the CPI interval through 1/x, wider side.
+	if !approx(e.IPCHalfWidth, 1/(0.375-wantH)-1/0.375) {
+		t.Errorf("IPCHalfWidth %v", e.IPCHalfWidth)
+	}
+
+	// Degenerate interval (half-width beyond the mean) clamps to 1/m.
+	if err := e.finalize([]float64{0.01, 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(e.IPCHalfWidth, 1/e.CPIMean) {
+		t.Errorf("degenerate IPCHalfWidth %v, want %v", e.IPCHalfWidth, 1/e.CPIMean)
+	}
+
+	if err := e.finalize([]float64{1.0}); err == nil {
+		t.Error("finalize accepted a single window")
+	}
+}
+
+func newCore(t testing.TB, cfgName, wlName string) *core.Core {
+	t.Helper()
+	cfg, err := config.Named(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.New(cfg, prog.MachineSource{M: w.NewMachine()})
+}
+
+// TestRunProducesEstimate: a schedule over an endless kernel yields
+// exactly Windows windows, a positive IPC and a finite interval, with
+// the aggregate counters matching the per-window sums.
+func TestRunProducesEstimate(t *testing.T) {
+	p, err := Spec{Windows: 4, Warm: 5_000}.Plan(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(context.Background(), newCore(t, "EOLE_4_64", "gzip"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.WindowIPC) != 4 {
+		t.Fatalf("%d windows, want 4", len(est.WindowIPC))
+	}
+	if est.SourceExhausted {
+		t.Error("SourceExhausted on an endless kernel")
+	}
+	if est.IPC <= 0 || math.IsNaN(est.IPC) || est.IPCHalfWidth < 0 {
+		t.Errorf("estimate IPC %v ± %v", est.IPC, est.IPCHalfWidth)
+	}
+	// The core commits whole groups, so each window overshoots its
+	// target by at most one commit group.
+	if want := uint64(4 * p.Measure); est.Stats.Committed < want || est.Stats.Committed > want+4*64 {
+		t.Errorf("aggregate commits %d, want ~%d", est.Stats.Committed, want)
+	}
+	if est.Stats.Cycles == 0 {
+		t.Error("aggregate cycles zero")
+	}
+	// Windows are equal-sized up to the commit-group overshoot, so
+	// the IPC estimate tracks the aggregate ratio closely.
+	if agg := est.Stats.IPC(); math.Abs(agg-est.IPC)/agg > 1e-2 {
+		t.Errorf("estimate IPC %v far from aggregate IPC %v", est.IPC, agg)
+	}
+}
+
+// TestRunDeterministic: identical (config, workload, plan) runs give
+// identical estimates — the jitter stream is fixed-seed, so sampled
+// results are cacheable.
+func TestRunDeterministic(t *testing.T) {
+	p, err := Spec{Windows: 4, Skip: 3_000, Warm: 5_000}.Plan(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(context.Background(), newCore(t, "EOLE_4_64", "hmmer"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), newCore(t, "EOLE_4_64", "hmmer"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical sampled runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// haltingWorkload builds a finite program: n loop iterations of a few
+// µ-ops, then halt.
+func haltingWorkload(iters int64) workload.Workload {
+	b := prog.NewBuilder("finite")
+	i, n, acc := isa.IntReg(1), isa.IntReg(2), isa.IntReg(3)
+	b.Movi(n, iters)
+	b.Label("top")
+	b.Addi(acc, acc, 3)
+	b.Addi(i, i, 1)
+	b.Blt(i, n, "top")
+	b.Halt()
+	return workload.Workload{
+		Name: "finite", Short: "finite",
+		Program: b.MustBuild(),
+	}
+}
+
+// TestRunSourceExhausted: a source that dries up mid-schedule keeps
+// the completed windows (flagging the truncation) but fails when
+// fewer than two windows completed.
+func TestRunSourceExhausted(t *testing.T) {
+	cfg, _ := config.Named("EOLE_4_64")
+	w := haltingWorkload(12_000) // ~36K µ-ops: under three full windows
+
+	p, err := Spec{Windows: 4, Warm: 2_000, Measure: 10_000, DetailWarmup: 500}.Plan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.New(cfg, prog.MachineSource{M: w.NewMachine()})
+	est, err := Run(context.Background(), c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.SourceExhausted {
+		t.Error("SourceExhausted not set on a drained source")
+	}
+	if len(est.WindowIPC) >= 4 {
+		t.Errorf("%d windows completed on a truncated stream", len(est.WindowIPC))
+	}
+
+	// Too short for even two windows: a hard error.
+	short := haltingWorkload(2_000)
+	c = core.New(cfg, prog.MachineSource{M: short.NewMachine()})
+	if _, err := Run(context.Background(), c, p); err == nil {
+		t.Error("Run succeeded with fewer than two complete windows")
+	}
+}
+
+// TestRunCancellation: context cancellation aborts the schedule in
+// every phase.
+func TestRunCancellation(t *testing.T) {
+	p, err := Spec{Windows: 4, Warm: 5_000}.Plan(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, newCore(t, "EOLE_4_64", "gzip"), p); err != context.Canceled {
+		t.Errorf("canceled Run: err %v", err)
+	}
+}
+
+// TestJitterSpreadsWindows: the splitmix64 jitter must actually vary
+// the fast-forward lengths (a regression here silently reintroduces
+// periodicity aliasing).
+func TestJitterSpreadsWindows(t *testing.T) {
+	p := Plan{Windows: 8, Warm: 40_000, Measure: 1, DetailWarmup: 1}
+	if jitterRange(p) != 40_000 {
+		t.Fatalf("jitterRange %d, want the warm length", jitterRange(p))
+	}
+	p = Plan{Windows: 8, Skip: 10_000, Measure: 1, DetailWarmup: 1}
+	if jitterRange(p) != 10_000 {
+		t.Fatalf("jitterRange %d, want the skip length", jitterRange(p))
+	}
+	seen := map[uint64]bool{}
+	rng := uint64(0)
+	var out uint64
+	for i := 0; i < 8; i++ {
+		out, rng = splitmix64(rng)
+		seen[out%(40_000+1)] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("jitter stream produced only %d distinct offsets in 8 draws", len(seen))
+	}
+}

@@ -10,14 +10,22 @@ import (
 )
 
 // Request describes one simulation: a machine configuration, a
-// workload (short or full name), and the run lengths. Two Requests
-// with equal content always hash to the same Key, so results are
-// shareable across callers.
+// workload (short or full name), the run lengths, and optionally a
+// sampling spec. Two Requests with equal content always hash to the
+// same Key, so results are shareable across callers.
 type Request struct {
 	Config   eole.Config `json:"config"`
 	Workload string      `json:"workload"`
 	Warmup   uint64      `json:"warmup"`
 	Measure  uint64      `json:"measure"`
+	// Sampling, when non-nil, runs the simulation sampled (see
+	// eole.WithSampling): warmup becomes functional warming, measure
+	// the total detailed budget across the spec's windows, and the
+	// report carries a confidence interval. The spec is part of the
+	// cache identity — a sampled result never answers a full-run
+	// request or vice versa, and two different specs never share an
+	// entry.
+	Sampling *eole.SamplingSpec `json:"sampling,omitempty"`
 }
 
 // label names the request's configuration for error messages and
@@ -31,8 +39,9 @@ func (r Request) label() string { return r.Config.Label() }
 // invalidated instead of silently serving stale results.
 //
 // Version history: 1 hashed the full config JSON; 2 keys on
-// Config.Fingerprint().
-const schemaVersion = 2
+// Config.Fingerprint(); 3 adds the sampling spec to the canonical
+// form (and the Report schema gains the sampled fields).
+const schemaVersion = 3
 
 // Key is the content address of a Request: a SHA-256 over the
 // config's canonical Fingerprint, the workload, and the run lengths,
@@ -59,7 +68,25 @@ func KeyOf(req Request) Key {
 		Workload    string `json:"workload"`
 		Warmup      uint64 `json:"warmup"`
 		Measure     uint64 `json:"measure"`
-	}{schemaVersion, req.Config.Fingerprint(), req.Workload, req.Warmup, req.Measure}
+		Sampling    any    `json:"sampling"`
+	}{schemaVersion, req.Config.Fingerprint(), req.Workload, req.Warmup, req.Measure, nil}
+	if req.Sampling != nil {
+		// Hash the resolved schedule, not the raw spec: a spec that
+		// spells out a default (per-window measure, detail warm-up)
+		// simulates identically to one that leaves it zero, so the
+		// two must share a cache entry — mirroring how configs are
+		// Normalized before fingerprinting. The resolved plan also
+		// captures everything Measure contributes to a sampled run,
+		// so the raw budget is dropped from the canonical form.
+		// Unresolvable specs hash raw; they fail at run time with a
+		// real error, under a stable key.
+		if p, err := req.Sampling.Plan(req.Measure); err == nil {
+			canonical.Measure = 0
+			canonical.Sampling = p
+		} else {
+			canonical.Sampling = req.Sampling
+		}
+	}
 	if w, err := eole.WorkloadByName(req.Workload); err == nil {
 		canonical.Workload = w.Short
 	}

@@ -12,6 +12,7 @@ type metrics struct {
 	failed        atomic.Uint64
 	canceled      atomic.Uint64
 	simsRun       atomic.Uint64
+	sampledRuns   atomic.Uint64
 	abandonedRuns atomic.Uint64
 	cacheHits     atomic.Uint64
 	diskHits      atomic.Uint64
@@ -45,6 +46,9 @@ type Stats struct {
 	// (single-flight), so SimsRun + CacheHits + Coalesced ==
 	// JobsCompleted when nothing failed.
 	SimsRun uint64 `json:"sims_run"`
+	// SimsSampled counts executed simulations that ran sampled (a
+	// subset of SimsRun).
+	SimsSampled uint64 `json:"sims_sampled"`
 	// SimsAbandoned counts running simulations canceled mid-flight
 	// because every waiter's context died (client disconnects, expired
 	// sweep deadlines).
@@ -57,7 +61,9 @@ type Stats struct {
 
 	// Throughput. SimWallTime is the summed wall time of executed
 	// simulations (overlapping across workers); SimulatedOps counts
-	// committed µ-ops (warmup + measure) across executed simulations.
+	// the µ-ops each executed simulation advanced through — warmup +
+	// measure for full runs, the whole sampled stream (skipped,
+	// warmed and measured µ-ops) for sampled ones.
 	SimWallTime  time.Duration `json:"sim_wall_time_ns"`
 	SimulatedOps uint64        `json:"simulated_uops"`
 
@@ -87,6 +93,7 @@ func (m *metrics) snapshot(cacheSize int) Stats {
 		JobsFailed:    m.failed.Load(),
 		JobsCanceled:  m.canceled.Load(),
 		SimsRun:       m.simsRun.Load(),
+		SimsSampled:   m.sampledRuns.Load(),
 		SimsAbandoned: m.abandonedRuns.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		DiskHits:      m.diskHits.Load(),

@@ -400,6 +400,19 @@ func Cross(cfgs []eole.Config, workloads []string, warmup, measure uint64) []Req
 	return reqs
 }
 
+// ApplySampling stamps one sampling spec onto every request of a
+// sweep (nil leaves the sweep full-run) and returns the slice for
+// chaining — the single place sweep builders attach a schedule, so
+// the eoled and experiments entry points cannot drift apart.
+func ApplySampling(reqs []Request, spec *eole.SamplingSpec) []Request {
+	if spec != nil {
+		for i := range reqs {
+			reqs[i].Sampling = spec
+		}
+	}
+	return reqs
+}
+
 // FromGrid cartesian-expands a design-space grid and crosses the
 // resulting configurations with the workloads: the request list for
 // one figure-style sweep, ready for SubmitSweep.
@@ -653,13 +666,20 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 	// (or waiting on another job's single-flight recording) is
 	// accounted separately in TraceRecordTime, not in SimWallTime.
 	t := s.traceSource(w, req)
+	// Sampled requests run the sampler instead of a full detailed
+	// region (eole.WithSampling); the option composes with replay.
+	var extra []eole.SimOption
+	if req.Sampling != nil {
+		extra = append(extra, eole.WithSampling(*req.Sampling))
+	}
 	start := time.Now()
 	if t != nil {
 		// Trace-driven: replay the recorded stream. Byte-identical to
 		// execute-driven by construction; a trace that fails to attach
 		// (e.g. recorded against an older program build) falls back —
 		// but a canceled run is cancellation, not a trace problem.
-		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, eole.WithReplay(t))
+		opts := append([]eole.SimOption{eole.WithReplay(t)}, extra...)
+		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, opts...)
 		switch {
 		case err == nil:
 			s.m.traceReplays.Add(1)
@@ -671,7 +691,7 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 		}
 	}
 	if r == nil {
-		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure)
+		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, extra...)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -681,6 +701,18 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 	}
 	s.m.simsRun.Add(1)
 	s.m.simNanos.Add(int64(time.Since(start)))
-	s.m.simOps.Add(req.Warmup + req.Measure)
+	if req.Sampling != nil {
+		s.m.sampledRuns.Add(1)
+		// A sampled run advances its whole window schedule, not just
+		// warmup+measure; account the stream actually drawn (the
+		// exact jitter sequence is deterministic) so UopsPerSec stays
+		// meaningful. Skip the saturated error sentinel — that
+		// request failed above anyway.
+		if used := req.Sampling.StreamConsumed(req.Warmup, req.Measure); used < 1<<62 {
+			s.m.simOps.Add(used)
+		}
+	} else {
+		s.m.simOps.Add(req.Warmup + req.Measure)
+	}
 	return r, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"eole/internal/sample"
 	"eole/internal/trace"
 	"eole/internal/workload"
 )
@@ -214,12 +215,28 @@ func (s *Service) TracesEnabled() bool { return s.traces != nil }
 // replay of one request. The fetch-ahead margin is sized from the
 // request's own configuration (a custom machine with a huge ROB
 // fetches further ahead of commit than the Table 1 machines), so an
-// undersized trace can never be replayed silently. Overflow-safe:
+// undersized trace can never be replayed silently. A sampled request
+// consumes its whole window schedule from the source, so its need is
+// the spec's stream length, not warmup+measure. Overflow-safe:
 // returns 0 on overflow, which makes the caller fall back to
 // execute-driven simulation.
 func replayNeed(req Request) uint64 {
 	slack := trace.SlackFor(req.Config.ROBSize, req.Config.FetchQueueSize)
 	total := req.Warmup + req.Measure
+	if req.Sampling != nil {
+		total = req.Sampling.StreamNeed(req.Warmup, req.Measure)
+		// StreamNeed budgets sample.FlushAllowance per window for the
+		// in-flight µ-ops each window boundary discards; a custom
+		// machine that fetches further ahead than that discards more,
+		// per window, so the shortfall scales with the window count.
+		if slack > sample.FlushAllowance {
+			extra := (slack - sample.FlushAllowance) * uint64(req.Sampling.Windows)
+			if extra/uint64(req.Sampling.Windows) != slack-sample.FlushAllowance || total+extra < total {
+				return 0
+			}
+			total += extra
+		}
+	}
 	if total < req.Warmup || total+slack < total {
 		return 0
 	}

@@ -305,7 +305,17 @@ func (t *Trace) ops(p *prog.Program) ([]prog.MicroOp, error) {
 			return // seeded by Record
 		}
 		d := decoder{prog: p, payload: t.payload}
-		ops := make([]prog.MicroOp, 0, t.Count)
+		// Pre-size from Count but cap by the payload: a hostile header
+		// can claim 2^60 records over a 10-byte body, and the
+		// pre-allocation must not trust it. (A legitimate trace can
+		// exceed one record per payload byte — direct jumps and halt
+		// encode zero bytes — so this only bounds the initial
+		// capacity; append still grows to the real count.)
+		capHint := t.Count
+		if max := uint64(len(t.payload)) + 4096; capHint > max {
+			capHint = max
+		}
+		ops := make([]prog.MicroOp, 0, capHint)
 		for i := uint64(0); i < t.Count; i++ {
 			var u prog.MicroOp
 			if !d.next(&u) {

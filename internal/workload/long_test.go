@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"eole/internal/isa"
+)
+
+func TestLongFamilyRegistered(t *testing.T) {
+	names := LongNames()
+	if len(names) != 3 {
+		t.Fatalf("long family has %d members: %v", len(names), names)
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "long-") {
+			t.Errorf("long workload %q not named long-*", n)
+		}
+		w, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+			continue
+		}
+		if w.Short != n {
+			t.Errorf("ByName(%q) resolved %q", n, w.Short)
+		}
+	}
+	// The Table 3 suite must stay at the paper's 19 benchmarks: the
+	// figure sweeps and /v1/workloads defaults depend on it.
+	if got := len(All()); got != 19 {
+		t.Errorf("All() returns %d workloads, want 19 (long-* must stay out)", got)
+	}
+}
+
+// TestLongKernelPhases: the functional machine must actually rotate
+// through the three phases — observable as memory traffic appearing
+// only in the stream phase and the µ-op mix shifting between phases.
+func TestLongKernelPhases(t *testing.T) {
+	w, err := ByName("long-l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.NewMachine()
+	perPhase := uint64(LongPhaseIters) * 16 // generous per-phase µ-op bound
+
+	// Count loads per segment by stepping through one full cycle.
+	var segLoads [4]uint64
+	var segOps [4]uint64
+	for seg := 0; seg < 4; seg++ {
+		for segOps[seg] < perPhase/2 {
+			u, ok := m.Step()
+			if !ok {
+				t.Fatal("long kernel halted")
+			}
+			segOps[seg]++
+			if u.Op.Class() == isa.ClassLoad {
+				segLoads[seg]++
+			}
+		}
+		// Fast-forward to the next phase boundary region.
+		m.Run(perPhase, nil)
+	}
+	// At least one observed segment must be load-heavy (stream phase)
+	// and at least one load-free (compute/scramble phases).
+	var withLoads, withoutLoads int
+	for seg := 0; seg < 4; seg++ {
+		if segLoads[seg] > segOps[seg]/10 {
+			withLoads++
+		}
+		if segLoads[seg] == 0 {
+			withoutLoads++
+		}
+	}
+	if withLoads == 0 || withoutLoads == 0 {
+		t.Errorf("phase rotation not observable: per-segment loads %v over %v µ-ops", segLoads, segOps)
+	}
+}
+
+// TestLongFootprints: the family members differ only in stream-phase
+// footprint, which must materialize as distinct touched-page counts.
+func TestLongFootprints(t *testing.T) {
+	foot := map[string]int{}
+	for _, n := range []string{"long-l1", "long-l2"} {
+		w, _ := ByName(n)
+		m := w.NewMachine()
+		m.Run(3_000_000, nil)
+		foot[n] = m.Mem.Footprint()
+	}
+	if foot["long-l2"] <= foot["long-l1"] {
+		t.Errorf("footprints not ordered: %v", foot)
+	}
+}

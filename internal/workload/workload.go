@@ -74,9 +74,15 @@ func Names() []string {
 	return names
 }
 
-// ByName looks a workload up by full or short name.
+// ByName looks a workload up by full or short name. It resolves both
+// the Table 3 suite and the long-* phased family (see long.go).
 func ByName(name string) (Workload, error) {
 	for _, w := range registry {
+		if w.Name == name || w.Short == name {
+			return w, nil
+		}
+	}
+	for _, w := range longRegistry {
 		if w.Name == name || w.Short == name {
 			return w, nil
 		}

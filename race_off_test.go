@@ -1,0 +1,10 @@
+//go:build !race
+
+package eole_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight differential matrix scales itself down under -race
+// (sampling is single-goroutine, so the full matrix adds no race
+// coverage — the concurrency paths are exercised by the simsvc
+// stress tests).
+const raceEnabled = false

@@ -1,0 +1,218 @@
+package eole_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eole"
+)
+
+// The differential accuracy harness: sampled simulation is shippable
+// only if its confidence-bounded estimate actually brackets the
+// ground truth. For every named configuration × the four Table 3
+// kernel workloads the trace-equivalence suite uses, the full-run IPC
+// over the sampled schedule's stream extent must fall within the
+// sampled estimate's reported 95% interval. Everything here is
+// deterministic — the simulator and the sampler's fixed-seed window
+// jitter make a given (config, workload, spec) reproduce exactly —
+// so a failure is a real accuracy regression (warming drift, jitter
+// regression, estimator bug), never flake.
+
+// diffSpec is the reference sampling schedule: 8 windows, warm-only
+// fast-forward (skip trades accuracy for speed and is exercised
+// separately), the per-window measure derived from the total budget.
+var diffSpec = eole.SamplingSpec{Windows: 8, Warm: 40_000}
+
+const (
+	diffWarmup  = 50_000
+	diffMeasure = 160_000
+)
+
+func diffMatrix(t *testing.T) (configs []string, workloads []string) {
+	t.Helper()
+	configs = eole.ConfigNames()
+	workloads = []string{"gzip", "mcf", "namd", "hmmer"}
+	if raceEnabled {
+		// The race build runs ~10x slower and sampling is
+		// single-goroutine; keep a representative corner.
+		configs = []string{"Baseline_6_64", "EOLE_4_64"}
+		workloads = []string{"gzip", "hmmer"}
+	}
+	return configs, workloads
+}
+
+// TestSampledIPCWithinConfidenceInterval is the 44-pair differential
+// accuracy test (11 named configs × 4 kernel workloads).
+func TestSampledIPCWithinConfidenceInterval(t *testing.T) {
+	plan, err := diffSpec.Plan(diffMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := plan.Total() // the sampled schedule's stream extent
+	configs, workloads := diffMatrix(t)
+	for _, cfgName := range configs {
+		for _, wlName := range workloads {
+			cfgName, wlName := cfgName, wlName
+			t.Run(fmt.Sprintf("%s/%s", cfgName, wlName), func(t *testing.T) {
+				t.Parallel()
+				cfg, err := eole.NamedConfig(cfgName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, err := eole.WorkloadByName(wlName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := eole.Simulate(cfg, w, diffWarmup, total)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sampled, err := eole.Simulate(cfg, w, diffWarmup, diffMeasure, eole.WithSampling(diffSpec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sampled.Sampled || sampled.SampleWindows != diffSpec.Windows {
+					t.Fatalf("sampled report not marked: sampled=%v windows=%d",
+						sampled.Sampled, sampled.SampleWindows)
+				}
+				diff := sampled.IPC - full.IPC
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > sampled.IPCCI {
+					t.Errorf("full-run IPC outside the sampled confidence interval:\n"+
+						"  full (warmup %d, measure %d): IPC %.4f\n"+
+						"  sampled %+v:                  IPC %.4f ± %.4f\n"+
+						"  |diff| %.4f > half-width %.4f",
+						diffWarmup, total, full.IPC,
+						diffSpec, sampled.IPC, sampled.IPCCI,
+						diff, sampled.IPCCI)
+				}
+			})
+		}
+	}
+}
+
+// TestConfidenceIntervalShrinks: adding measurement windows (at a
+// fixed per-window measure) must tighten the reported interval — the
+// CLT 1/√n contraction that makes "spend more windows for a tighter
+// answer" a real knob. namd is the adversarial pick: its phased
+// behaviour gives the windows genuine variance.
+func TestConfidenceIntervalShrinks(t *testing.T) {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{4, 8, 16, 32}
+	if raceEnabled {
+		counts = []int{4, 16}
+	}
+	widths := make([]float64, len(counts))
+	for i, n := range counts {
+		spec := eole.SamplingSpec{Windows: n, Warm: 40_000, Measure: 20_000}
+		r, err := eole.Simulate(cfg, w, diffWarmup, 0, eole.WithSampling(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IPCCI <= 0 {
+			t.Fatalf("windows=%d: zero-width interval (%.6f)", n, r.IPCCI)
+		}
+		widths[i] = r.IPCCI
+		t.Logf("windows %2d: IPC %.4f ± %.4f", n, r.IPC, r.IPCCI)
+	}
+	for i := 1; i < len(widths); i++ {
+		if widths[i] >= widths[i-1] {
+			t.Errorf("interval did not shrink: %d windows → ±%.4f, %d windows → ±%.4f",
+				counts[i-1], widths[i-1], counts[i], widths[i])
+		}
+	}
+}
+
+// TestSampledRunsAreDeterministic: identical sampled runs (including
+// the pseudo-random window jitter) must produce byte-identical
+// reports — the property that lets simsvc cache sampled results.
+func TestSampledRunsAreDeterministic(t *testing.T) {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eole.Simulate(cfg, w, 10_000, 40_000, eole.WithSampling(eole.SamplingSpec{Windows: 4, Warm: 10_000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eole.Simulate(cfg, w, 10_000, 40_000, eole.WithSampling(eole.SamplingSpec{Windows: 4, Warm: 10_000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("identical sampled runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSampledSourceExhaustedErrors: a source too short for the
+// sampling schedule must fail the run — a truncated estimate would
+// otherwise be cached under the full spec's identity.
+func TestSampledSourceExhaustedErrors(t *testing.T) {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60K recorded µ-ops cannot serve an 8-window, 40K-warm schedule.
+	tr := eole.RecordTrace(w, 60_000)
+	_, err = eole.Simulate(cfg, w, 10_000, 160_000,
+		eole.WithSampling(eole.SamplingSpec{Windows: 8, Warm: 40_000}), eole.WithReplay(tr))
+	if err == nil {
+		t.Fatal("sampled run over a too-short trace succeeded")
+	}
+	// Sampling on a non-sampled simulator is a hard error, not a
+	// silent detailed run.
+	sim, err := eole.NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Sample(1_000, 4_000); err == nil {
+		t.Fatal("Sample on a simulator built without WithSampling succeeded")
+	}
+}
+
+// TestSampledReplayMatchesExecuteDriven: sampling over a recorded
+// trace must produce a byte-identical report to sampling over the
+// functional interpreter — the sampler consumes the stream strictly
+// in order, so the source is interchangeable.
+func TestSampledReplayMatchesExecuteDriven(t *testing.T) {
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eole.WorkloadByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := eole.SamplingSpec{Windows: 4, Warm: 10_000}
+	const warmup, measure = 10_000, 40_000
+	tr := eole.RecordTrace(w, spec.StreamNeed(warmup, measure)+eole.TraceSlackFor(cfg))
+
+	exec, err := eole.Simulate(cfg, w, warmup, measure, eole.WithSampling(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := eole.Simulate(cfg, w, warmup, measure, eole.WithSampling(spec), eole.WithReplay(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *exec != *replay {
+		t.Errorf("sampled replay diverges from execute-driven:\nexec:   %+v\nreplay: %+v", exec, replay)
+	}
+}
