@@ -1,0 +1,407 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"eole"
+	"eole/internal/cluster"
+	"eole/internal/simsvc"
+)
+
+// newWorker spins up a real eoled worker: its own simulation service
+// behind the full HTTP handler, exactly what a remote eoled process
+// serves.
+func newWorker(t *testing.T, opts serverOptions) *httptest.Server {
+	t.Helper()
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if opts.version == "" {
+		opts.version = "test"
+	}
+	srv := httptest.NewServer(newServer(svc, opts))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func workerOpts() serverOptions {
+	return serverOptions{defaultWarmup: 1_000, defaultMeasure: 3_000, maxUops: 50_000_000}
+}
+
+// testGrid is the acceptance sweep: 6 grid configs × 2 workloads = 12
+// cells, all distinct.
+func testGrid(t *testing.T) []eole.Config {
+	t.Helper()
+	g := eole.Grid{
+		BaseName: "EOLE_4_64",
+		Axes: []eole.Axis{
+			{Option: "PRFBanks", Values: []any{2, 4, 8}},
+			{Option: "EarlyExecution", Values: []any{1, 2}},
+		},
+	}
+	cfgs, err := g.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfgs
+}
+
+// singleNode runs the request list through a local service and
+// relabels per request — the reference result a distributed sweep must
+// reproduce byte for byte.
+func singleNode(t *testing.T, reqs []simsvc.Request) []byte {
+	t.Helper()
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sweep, err := svc.SubmitSweep(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := sweep.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		reports[i] = cluster.Relabel(reports[i], reqs[i].Config.Label())
+	}
+	return marshalReports(t, reports)
+}
+
+func marshalReports(t *testing.T, reports []*eole.Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClusterByteIdenticalToSingleNode is the acceptance check: a
+// 3-worker distributed sweep over 12 grid cells — full runs and a
+// sampled variant — returns reports byte-identical to the same sweep
+// run in one process.
+func TestClusterByteIdenticalToSingleNode(t *testing.T) {
+	workers := []string{
+		newWorker(t, workerOpts()).URL,
+		newWorker(t, workerOpts()).URL,
+		newWorker(t, workerOpts()).URL,
+	}
+	co, err := cluster.New(cluster.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+
+	cfgs := testGrid(t)
+	for _, tc := range []struct {
+		name     string
+		sampling *eole.SamplingSpec
+	}{
+		{"full", nil},
+		{"sampled", &eole.SamplingSpec{Windows: 4, Warm: 2_000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs := simsvc.ApplySampling(
+				simsvc.Cross(cfgs, []string{"gzip", "art"}, 1_000, 3_000), tc.sampling)
+			if len(reqs) < 12 {
+				t.Fatalf("acceptance sweep must cover >= 12 cells, got %d", len(reqs))
+			}
+			reports, err := co.Sweep(context.Background(), reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := marshalReports(t, reports)
+			want := singleNode(t, reqs)
+			if !bytes.Equal(got, want) {
+				t.Errorf("distributed sweep diverged from single-node result\ncluster:\n%.400s\nsingle:\n%.400s", got, want)
+			}
+		})
+	}
+}
+
+// TestClusterKillWorkerMidSweep kills one of three workers after the
+// first cell completes: its in-flight and queued cells must requeue to
+// the survivors, every cell must be accounted for, and the merged
+// reports must still match a single-node run.
+func TestClusterKillWorkerMidSweep(t *testing.T) {
+	victim := newWorker(t, workerOpts())
+	workers := []string{
+		victim.URL,
+		newWorker(t, workerOpts()).URL,
+		newWorker(t, workerOpts()).URL,
+	}
+	co, err := cluster.New(cluster.Options{
+		Workers: workers,
+		// Open a killed worker's circuit on its first broken dispatch
+		// so requeued cells do not revisit it.
+		FailureThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+
+	// Longer cells so the kill lands mid-sweep, not after it.
+	reqs := simsvc.Cross(testGrid(t), []string{"gzip", "art"}, 1_000, 30_000)
+	run, err := co.Start(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cells int
+	killed := false
+	for res := range run.Results() {
+		cells++
+		if res.Err != nil {
+			t.Errorf("cell %v failed: %v", res.Indexes, res.Err)
+		}
+		if !killed {
+			killed = true
+			victim.CloseClientConnections()
+			victim.Close()
+		}
+	}
+	reports, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("sweep must survive a killed worker: %v", err)
+	}
+	if cells != len(reqs) { // every cell is unique in this grid
+		t.Errorf("%d cells delivered, want %d", cells, len(reqs))
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost after worker kill", i)
+		}
+	}
+	if got, want := marshalReports(t, reports), singleNode(t, reqs); !bytes.Equal(got, want) {
+		t.Error("post-kill reports diverged from single-node result")
+	}
+}
+
+// TestClusterSweepEndpoint drives the coordinator's HTTP surface:
+// /v1/cluster/sweep shards across workers with per-cell worker
+// attribution, /v1/cluster/workers reports merged stats.
+func TestClusterSweepEndpoint(t *testing.T) {
+	w1, w2 := newWorker(t, workerOpts()), newWorker(t, workerOpts())
+	co, err := cluster.New(cluster.Options{Workers: []string{w1.URL, w2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	opts := workerOpts()
+	opts.coord = co
+	coordSvc, err := simsvc.New(simsvc.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coordSvc.Close)
+	h := newServer(coordSvc, opts)
+
+	rec := postJSON(t, h, "/v1/cluster/sweep", sweepRequest{
+		Configs:   []configRef{namedRef("EOLE_4_64"), namedRef("Baseline_6_64")},
+		Workloads: []string{"gzip", "art"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cluster sweep: %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []clusterSweepResult `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(resp.Results))
+	}
+	for _, res := range resp.Results {
+		if res.Error != "" || res.Report == nil {
+			t.Errorf("%s on %s: error %q", res.Config, res.Workload, res.Error)
+			continue
+		}
+		if res.Worker != w1.URL && res.Worker != w2.URL {
+			t.Errorf("cell attributed to unknown worker %q", res.Worker)
+		}
+		if res.Report.Config != res.Config {
+			t.Errorf("report labeled %q in a %q cell", res.Report.Config, res.Config)
+		}
+	}
+
+	var st cluster.Stats
+	if rec := getJSON(t, h, "/v1/cluster/workers", &st); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/cluster/workers: %d", rec.Code)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("%d workers, want 2", len(st.Workers))
+	}
+	if st.Service.SimsRun != 4 {
+		t.Errorf("merged SimsRun = %d, want 4", st.Service.SimsRun)
+	}
+	var attributed uint64
+	for _, w := range st.Workers {
+		if w.Service == nil {
+			t.Fatalf("worker %s service stats missing", w.URL)
+		}
+		attributed += w.Service.Endpoints["/v1/simulate"].Requests
+	}
+	if attributed != 4 {
+		t.Errorf("per-worker /v1/simulate attribution sums to %d, want 4", attributed)
+	}
+}
+
+// TestClusterErrorPaths covers the coordinator endpoint's failure
+// modes: malformed bodies, invalid sweeps, and a server that is not a
+// coordinator at all.
+func TestClusterErrorPaths(t *testing.T) {
+	w1 := newWorker(t, workerOpts())
+	co, err := cluster.New(cluster.Options{Workers: []string{w1.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	opts := workerOpts()
+	opts.coord = co
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := newServer(svc, opts)
+
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/v1/cluster/sweep", bytes.NewReader([]byte("{nope")))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", rec.Code)
+	}
+	// Unknown field (strict decode).
+	req = httptest.NewRequest(http.MethodPost, "/v1/cluster/sweep", bytes.NewReader([]byte(`{"confgs":["EOLE_4_64"]}`)))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", rec.Code)
+	}
+	// Bad sweep content: unknown config and unknown workload.
+	if rec := postJSON(t, h, "/v1/cluster/sweep", sweepRequest{Configs: []configRef{namedRef("NoSuch")}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown config: %d, want 400", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/cluster/sweep", sweepRequest{
+		Configs: []configRef{namedRef("EOLE_4_64")}, Workloads: []string{"nope"},
+	}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown workload: %d, want 400", rec.Code)
+	}
+
+	// Unusable peer lists are rejected at construction.
+	if _, err := cluster.New(cluster.Options{}); err == nil {
+		t.Error("New without workers must fail")
+	}
+	if _, err := cluster.New(cluster.Options{Workers: []string{"  "}}); err == nil {
+		t.Error("blank worker address must fail")
+	}
+
+	// A plain eoled (no -peers) routes no cluster endpoints at all.
+	plain := newWorker(t, workerOpts())
+	resp, err := http.Post(plain.URL+"/v1/cluster/sweep", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-coordinator cluster sweep: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestClusterWorkerFaults puts real eoled workers behind fault
+// injection: one answers 500 for its first calls, the other opens with
+// a 429 + Retry-After. The sweep must absorb both.
+func TestClusterWorkerFaults(t *testing.T) {
+	flaky, throttled := newWorker(t, workerOpts()), newWorker(t, workerOpts())
+	var flakyCalls, throttleCalls atomic.Int64
+	wrap := func(inner http.Handler, f func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/simulate" && f(w, r) {
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	proxy := func(target string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.WriteHeader(resp.StatusCode)
+			buf := new(bytes.Buffer)
+			buf.ReadFrom(resp.Body)
+			w.Write(buf.Bytes())
+		})
+	}
+	flakySrv := wrap(proxy(flaky.URL), func(w http.ResponseWriter, _ *http.Request) bool {
+		if flakyCalls.Add(1) <= 2 {
+			http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	throttledSrv := wrap(proxy(throttled.URL), func(w http.ResponseWriter, _ *http.Request) bool {
+		if throttleCalls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return true
+		}
+		return false
+	})
+
+	co, err := cluster.New(cluster.Options{
+		Workers:     []string{flakySrv.URL, throttledSrv.URL},
+		MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+
+	reqs := simsvc.Cross(testGrid(t)[:2], []string{"gzip", "art"}, 1_000, 3_000)
+	run, err := co.Start(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("sweep must absorb 5xx and 429 workers: %v", err)
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost", i)
+		}
+	}
+	var throttledN uint64
+	for _, ws := range co.Workers() {
+		throttledN += ws.Throttled
+	}
+	if throttledN == 0 {
+		t.Error("429 was never observed as backpressure")
+	}
+}

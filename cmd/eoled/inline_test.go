@@ -25,7 +25,7 @@ func TestInlineConfigEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 2_000, 5_000, 1_000_000)
+	h := newServer(svc, serverOptions{defaultWarmup: 2_000, defaultMeasure: 5_000, maxUops: 1_000_000})
 
 	named := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"})
 	if named.Code != http.StatusOK {
@@ -119,7 +119,7 @@ func TestInlineConfigStrictDecoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 1_000, 3_000, 1_000_000)
+	h := newServer(svc, serverOptions{defaultWarmup: 1_000, defaultMeasure: 3_000, maxUops: 1_000_000})
 
 	cfg, err := eole.NamedConfig("EOLE_4_64")
 	if err != nil {
@@ -231,7 +231,7 @@ func TestClientDisconnectAbandonsRunningSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 0, 0, 0)
+	h := newServer(svc, serverOptions{defaultWarmup: 0, defaultMeasure: 0, maxUops: 0})
 
 	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)

@@ -12,12 +12,27 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/simulate   {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
-//	POST /v1/sweep      {"configs":[...],"grid":{...},"workloads":[...],"warmup":...,"measure":...}
-//	GET  /v1/configs    named machine configurations
-//	GET  /v1/workloads  the 19 benchmarks
-//	GET  /v1/traces     recorded µ-op traces (workload, length, bytes)
-//	GET  /v1/stats      service counters (sims run, cache hits, trace replays, µ-ops/s)
+//	POST /v1/simulate        {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
+//	POST /v1/sweep           {"configs":[...],"grid":{...},"workloads":[...],"warmup":...,"measure":...}
+//	GET  /v1/configs         named machine configurations
+//	GET  /v1/workloads       the 19 benchmarks
+//	GET  /v1/traces          recorded µ-op traces (workload, length, bytes)
+//	GET  /v1/stats           service counters plus per-endpoint request/error counters
+//	GET  /v1/healthz         cheap liveness (status, version, uptime, queue depth)
+//	POST /v1/cluster/sweep   (with -peers) shard a sweep across the worker fleet
+//	GET  /v1/cluster/workers (with -peers) per-worker health, counters and merged stats
+//
+// Cluster mode: any eoled can coordinate a fleet of others. Start
+// workers normally (optionally with -worker to document the role) and
+// one coordinator with -peers listing them; POST /v1/cluster/sweep
+// then decomposes the sweep into content-addressed cells, dedupes
+// identical cells cluster-wide, dispatches them over the workers'
+// /v1/simulate with health-checked, bounded-in-flight, work-stealing
+// scheduling, and merges the reports — byte-identical to the same
+// sweep on one node. A killed worker's cells are requeued to the
+// survivors. Backpressure: once -max-queue unique simulations are
+// queued, simulate/sweep answer 429 with a Retry-After hint, which the
+// coordinator treats as "rest this worker", not failure.
 //
 // Configurations are first-class values: wherever a request takes a
 // config name it also takes an inline Config object, validated and
@@ -57,11 +72,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"eole/internal/cluster"
 	"eole/internal/simsvc"
 )
+
+// version identifies this server build on /v1/healthz and /v1/stats.
+// Bump alongside schema-visible changes so cluster operators can spot
+// a mixed-version fleet from GET /v1/cluster/workers.
+const version = "0.5.0"
 
 func main() {
 	var (
@@ -72,14 +94,32 @@ func main() {
 		warmup   = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
 		measure  = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
 		maxUops  = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
+		maxQueue = flag.Int("max-queue", 1024, "queue-depth bound: answer 429 with Retry-After once this many unique simulations are queued (0 disables the 429; requests then block once the internal queue fills)")
 		traces   = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
 		traceDir = flag.String("trace-dir", "", "persist recorded traces to this directory (implies -traces)")
 		traceMax = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
+		peers    = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
+		workerOn = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
 	)
 	flag.Parse()
 
+	if *workerOn && *peers != "" {
+		fmt.Fprintln(os.Stderr, "eoled: -worker and -peers are mutually exclusive")
+		os.Exit(1)
+	}
+
+	// The 429 check compares the service's queue depth against
+	// -max-queue, so the queue must be deep enough to actually reach
+	// the bound: a -max-queue at or past the service default would
+	// otherwise never trip and silently revert to blocking.
+	queueDepth := 0 // 0 = the service default
+	if *maxQueue >= simsvc.DefaultQueueDepth {
+		queueDepth = *maxQueue + 1
+	}
+
 	svc, err := simsvc.New(simsvc.Options{
 		Parallelism:  *par,
+		QueueDepth:   queueDepth,
 		CacheDir:     *cacheDir,
 		CacheEntries: *cacheN,
 		Traces:       *traces,
@@ -91,9 +131,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	var coord *cluster.Coordinator
+	if *peers != "" {
+		coord, err = cluster.New(cluster.Options{Workers: strings.Split(*peers, ",")})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eoled:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		log.Printf("eoled: coordinating %d workers", len(coord.Workers()))
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(svc, *warmup, *measure, *maxUops),
+		Addr: *addr,
+		Handler: newServer(svc, serverOptions{
+			defaultWarmup:  *warmup,
+			defaultMeasure: *measure,
+			maxUops:        *maxUops,
+			maxQueue:       *maxQueue,
+			version:        version,
+			coord:          coord,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -50,7 +50,7 @@ func TestSampledAndFullNeverShareCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 2_000, 5_000, 1_000_000)
+	h := newServer(svc, serverOptions{defaultWarmup: 2_000, defaultMeasure: 5_000, maxUops: 1_000_000})
 
 	full := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"})
 	sampled := postJSON(t, h, "/v1/simulate", simulateRequest{

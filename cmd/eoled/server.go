@@ -7,8 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"eole"
+	"eole/internal/cluster"
 	"eole/internal/simsvc"
 )
 
@@ -22,34 +26,125 @@ const maxBodyBytes = 1 << 20
 // unbounded response.
 const maxSweepCells = 4096
 
-// server wires the batch simulation service to the HTTP API. All
-// handlers speak JSON and rely only on net/http.
-type server struct {
-	svc *simsvc.Service
-
+// serverOptions configures the HTTP layer around the simulation
+// service.
+type serverOptions struct {
 	// Defaults applied when a request omits warmup/measure, and the
 	// per-request ceiling protecting the worker pool from unbounded
 	// simulations.
 	defaultWarmup  uint64
 	defaultMeasure uint64
 	maxUops        uint64
+	// maxQueue is the 429 backpressure threshold: once the service's
+	// queue of unique pending simulations reaches it, simulate/sweep
+	// requests are answered 429 with a Retry-After hint instead of
+	// queueing unboundedly (0 = disabled).
+	maxQueue int
+	// version is reported by /v1/healthz and /v1/stats.
+	version string
+	// coord, when non-nil, makes this eoled a cluster coordinator: the
+	// /v1/cluster/* endpoints are routed and shard sweeps across its
+	// workers.
+	coord *cluster.Coordinator
 }
 
-func newServer(svc *simsvc.Service, defaultWarmup, defaultMeasure, maxUops uint64) http.Handler {
+// endpointCounters is one endpoint's request accounting; errors counts
+// responses with status >= 400.
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// server wires the batch simulation service to the HTTP API. All
+// handlers speak JSON and rely only on net/http.
+type server struct {
+	svc   *simsvc.Service
+	opts  serverOptions
+	start time.Time
+	// endpoints maps route path -> counters; built once in newServer,
+	// read-only afterwards (the counters themselves are atomic).
+	endpoints map[string]*endpointCounters
+}
+
+func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	s := &server{
-		svc:            svc,
-		defaultWarmup:  defaultWarmup,
-		defaultMeasure: defaultMeasure,
-		maxUops:        maxUops,
+		svc:       svc,
+		opts:      opts,
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointCounters),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/traces", s.handleTraces)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// route registers a handler wrapped with per-endpoint request and
+	// error counting (surfaced in /v1/stats under "endpoints", keyed by
+	// the pattern's path component).
+	route := func(pattern string, h http.HandlerFunc) {
+		parts := strings.Fields(pattern)
+		ep := &endpointCounters{}
+		s.endpoints[parts[len(parts)-1]] = ep
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			ep.requests.Add(1)
+			cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+			h(cw, r)
+			if cw.status >= 400 {
+				ep.errors.Add(1)
+			}
+		})
+	}
+	route("POST /v1/simulate", s.handleSimulate)
+	route("POST /v1/sweep", s.handleSweep)
+	route("GET /v1/configs", s.handleConfigs)
+	route("GET /v1/workloads", s.handleWorkloads)
+	route("GET /v1/traces", s.handleTraces)
+	route("GET /v1/stats", s.handleStats)
+	route("GET /v1/healthz", s.handleHealthz)
+	if opts.coord != nil {
+		route("POST /v1/cluster/sweep", s.handleClusterSweep)
+		route("GET /v1/cluster/workers", s.handleClusterWorkers)
+	}
 	return mux
+}
+
+// countingWriter records the response status for the per-endpoint
+// error counters.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *countingWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// overloaded applies queue-depth backpressure: when the simulation
+// queue is at least maxQueue deep, answer 429 with a Retry-After hint
+// instead of queueing unboundedly. The cluster coordinator treats the
+// 429 as backpressure (requeue after the hint), not worker failure.
+func (s *server) overloaded(w http.ResponseWriter) bool {
+	return s.overloadedBy(w, 1)
+}
+
+// overloadedBy is the sweep-aware form: admitting n more cells while a
+// backlog exists must not push the queue past the bound (a sweep that
+// squeaked past the entry check could otherwise park its handler on a
+// full service queue — exactly the unbounded queueing 429 exists to
+// prevent). An idle queue admits any sweep the cell budget allows:
+// many cells are typically cache hits or coalesce and never queue at
+// all, so rejecting a big sweep by raw cell count alone would throttle
+// warm sweeps that cost nothing.
+func (s *server) overloadedBy(w http.ResponseWriter, n int) bool {
+	if s.opts.maxQueue <= 0 {
+		return false
+	}
+	depth := s.svc.QueueLen()
+	if depth == 0 || depth+n <= s.opts.maxQueue {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error: fmt.Sprintf("simulation queue is %d deep (limit %d, %d cells asked); retry later", depth, s.opts.maxQueue, n),
+	})
+	return true
 }
 
 // configRef is the wire form of one configuration: either a named
@@ -183,6 +278,13 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Backpressure only gates work that would actually queue: a cached
+	// or coalescable request is answered for free regardless of
+	// backlog, so warm and duplicate traffic keeps flowing through a
+	// saturated worker.
+	if !s.svc.FreeToServe(sreq) && s.overloaded(w) {
+		return
+	}
 	job, err := s.svc.Submit(r.Context(), sreq)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -193,29 +295,15 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, relabel(report, sreq.Config.Label()))
+	writeJSON(w, http.StatusOK, cluster.Relabel(report, sreq.Config.Label()))
 }
 
-// relabel returns the report labeled with the requested config's
-// label. Content-addressed caching keys on Config.Fingerprint and
-// ignores display names, so a request can be satisfied by a
-// simulation submitted under an identically-parameterized config with
-// a different name (or none).
-func relabel(r *eole.Report, label string) *eole.Report {
-	if r == nil || r.Config == label {
-		return r
-	}
-	cp := *r
-	cp.Config = label
-	return &cp
-}
-
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
-	if err := decodeStrict(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
+// resolveSweep validates a sweep request and expands it into the
+// request list: cell budget, config resolution/grid expansion,
+// workload validation and run-length defaults. Shared by the local
+// /v1/sweep and the distributed /v1/cluster/sweep so the two cannot
+// drift on what a sweep means.
+func (s *server) resolveSweep(req sweepRequest) ([]simsvc.Request, error) {
 	if len(req.Workloads) == 0 {
 		req.Workloads = eole.WorkloadNames()
 	}
@@ -227,9 +315,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Grid != nil {
 		gsize := req.Grid.Size() // saturates instead of wrapping
 		if gsize > maxSweepCells || total > maxSweepCells-gsize {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("sweep of %d configs plus a %d-cell grid exceeds the %d-config limit", total, gsize, maxSweepCells))
-			return
+			return nil, fmt.Errorf("sweep of %d configs plus a %d-cell grid exceeds the %d-config limit", total, gsize, maxSweepCells)
 		}
 		total += gsize
 	}
@@ -237,27 +323,56 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		total = len(eole.ConfigNames())
 	}
 	if cells := total * len(req.Workloads); cells > maxSweepCells {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep grid of %d cells exceeds limit %d", cells, maxSweepCells))
-		return
+		return nil, fmt.Errorf("sweep grid of %d cells exceeds limit %d", cells, maxSweepCells)
 	}
 	cfgs, err := s.sweepConfigs(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	for _, wl := range req.Workloads {
 		if _, err := eole.WorkloadByName(wl); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 	}
 	warmup, measure, err := s.runLengths(req.Warmup, req.Measure, req.Sampling)
 	if err != nil {
+		return nil, err
+	}
+	return simsvc.ApplySampling(simsvc.Cross(cfgs, req.Workloads, warmup, measure), req.Sampling), nil
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	reqs, err := s.resolveSweep(req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, req.Workloads, warmup, measure), req.Sampling)
+	// Backpressure counts only the cells a backlogged service would
+	// actually have to queue: cached or in-flight-coalescable cells
+	// are served for free (a re-run of a completed sweep passes even
+	// at full queue depth), and duplicate cells within the sweep
+	// coalesce into one queue slot, so all are excluded from the
+	// count.
+	cold := 0
+	seen := make(map[simsvc.Key]bool, len(reqs))
+	for i := range reqs {
+		k := simsvc.KeyOf(reqs[i])
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if !s.svc.FreeToServeKey(k) {
+			cold++
+		}
+	}
+	if cold > 0 && s.overloadedBy(w, cold) {
+		return
+	}
 	sweep, err := s.svc.SubmitSweep(r.Context(), reqs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -275,7 +390,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			res.Error = err.Error()
 		} else {
-			res.Report = relabel(report, label)
+			res.Report = cluster.Relabel(report, label)
 		}
 		resp.Results[i] = res
 	}
@@ -362,8 +477,47 @@ func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// statsResponse is /v1/stats: the embedded service counters (flattened
+// into the top level, so pre-cluster clients keep decoding it as plain
+// simsvc.Stats) plus server identity and the per-endpoint counters the
+// cluster coordinator uses to attribute load per worker.
+type statsResponse struct {
+	simsvc.Stats
+	Version   string                           `json:"version,omitempty"`
+	UptimeNS  int64                            `json:"uptime_ns"`
+	QueueLen  int                              `json:"queue_len"`
+	Endpoints map[string]cluster.EndpointStats `json:"endpoints"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	eps := make(map[string]cluster.EndpointStats, len(s.endpoints))
+	for path, ep := range s.endpoints {
+		eps[path] = cluster.EndpointStats{
+			Requests: ep.requests.Load(),
+			Errors:   ep.errors.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:     s.svc.Stats(),
+		Version:   s.opts.version,
+		UptimeNS:  int64(time.Since(s.start)),
+		QueueLen:  s.svc.QueueLen(),
+		Endpoints: eps,
+	})
+}
+
+// handleHealthz is the cheap liveness probe: no simulation state is
+// touched, so it answers even when every worker is busy. The cluster
+// prober keys its circuit breaker on it; load balancers can too.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.Health{
+		Status:      "ok",
+		Version:     s.opts.version,
+		UptimeNS:    int64(time.Since(s.start)),
+		Parallelism: s.svc.Parallelism(),
+		QueueLen:    s.svc.QueueLen(),
+		Coordinator: s.opts.coord != nil,
+	})
 }
 
 // sampledStreamFactor scales the maxUops ceiling for a sampled
@@ -396,14 +550,14 @@ func (s *server) buildRequest(req simulateRequest) (simsvc.Request, error) {
 // total stream the schedule would consume.
 func (s *server) runLengths(warmup, measure uint64, sampling *eole.SamplingSpec) (uint64, uint64, error) {
 	if warmup == 0 {
-		warmup = s.defaultWarmup
+		warmup = s.opts.defaultWarmup
 	}
 	if measure == 0 {
-		measure = s.defaultMeasure
+		measure = s.opts.defaultMeasure
 	}
 	// Overflow-safe ceiling check: warmup+measure can wrap uint64.
-	if s.maxUops > 0 && (warmup > s.maxUops || measure > s.maxUops-warmup) {
-		return 0, 0, fmt.Errorf("run length %d+%d µ-ops exceeds server limit %d", warmup, measure, s.maxUops)
+	if s.opts.maxUops > 0 && (warmup > s.opts.maxUops || measure > s.opts.maxUops-warmup) {
+		return 0, 0, fmt.Errorf("run length %d+%d µ-ops exceeds server limit %d", warmup, measure, s.opts.maxUops)
 	}
 	if sampling != nil {
 		// Plan both validates the spec and rejects schedules that do
@@ -413,24 +567,24 @@ func (s *server) runLengths(warmup, measure uint64, sampling *eole.SamplingSpec)
 		if err != nil {
 			return 0, 0, err
 		}
-		if s.maxUops > 0 {
+		if s.opts.maxUops > 0 {
 			// Detailed (cycle-accurate) work is the expensive part,
 			// and an explicit per-window spec Measure can exceed the
 			// request-level budget checked above — hold the
 			// schedule's detailed total to the same maxUops ceiling
 			// a full run gets.
 			perWindow := plan.Measure + plan.DetailWarmup
-			if detailed := perWindow * uint64(plan.Windows); perWindow != 0 && (detailed/perWindow != uint64(plan.Windows) || detailed > s.maxUops) {
+			if detailed := perWindow * uint64(plan.Windows); perWindow != 0 && (detailed/perWindow != uint64(plan.Windows) || detailed > s.opts.maxUops) {
 				return 0, 0, fmt.Errorf("sampled schedule simulates %d × %d detailed µ-ops, exceeding server limit %d",
-					plan.Windows, perWindow, s.maxUops)
+					plan.Windows, perWindow, s.opts.maxUops)
 			}
-			budget := s.maxUops * sampledStreamFactor
-			if budget/sampledStreamFactor != s.maxUops { // overflowed
+			budget := s.opts.maxUops * sampledStreamFactor
+			if budget/sampledStreamFactor != s.opts.maxUops { // overflowed
 				budget = 1<<64 - 1
 			}
 			if need := sampling.StreamNeed(warmup, measure); need > budget {
 				return 0, 0, fmt.Errorf("sampled schedule consumes %d stream µ-ops, exceeding the server limit %d (%d × %d)",
-					need, budget, s.maxUops, sampledStreamFactor)
+					need, budget, s.opts.maxUops, sampledStreamFactor)
 			}
 		}
 	}

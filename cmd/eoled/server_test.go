@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"eole"
+	"eole/internal/cluster"
 	"eole/internal/simsvc"
 )
 
@@ -22,7 +25,7 @@ func newTestHandler(t *testing.T) http.Handler {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	return newServer(svc, 2_000, 5_000, 1_000_000)
+	return newServer(svc, serverOptions{defaultWarmup: 2_000, defaultMeasure: 5_000, maxUops: 1_000_000})
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -110,7 +113,7 @@ func TestConcurrentSweeps(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 2_000, 5_000, 1_000_000)
+	h := newServer(svc, serverOptions{defaultWarmup: 2_000, defaultMeasure: 5_000, maxUops: 1_000_000})
 
 	sweeps := []sweepRequest{
 		{Configs: []configRef{namedRef("Baseline_6_64"), namedRef("EOLE_4_64")}, Workloads: []string{"gzip", "art"}},
@@ -245,6 +248,126 @@ func TestMethodRouting(t *testing.T) {
 	}
 }
 
+// TestHealthz checks the liveness endpoint: cheap, JSON, and carrying
+// the identity fields the cluster prober and load balancers key on.
+func TestHealthz(t *testing.T) {
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := newServer(svc, serverOptions{defaultWarmup: 1_000, defaultMeasure: 3_000, maxUops: 1_000_000, version: "test-1"})
+
+	var health cluster.Health
+	if rec := getJSON(t, h, "/v1/healthz", &health); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/healthz: %d", rec.Code)
+	}
+	if health.Status != "ok" || health.Version != "test-1" {
+		t.Errorf("healthz identity: %+v", health)
+	}
+	if health.Parallelism != 2 || health.Coordinator {
+		t.Errorf("healthz shape: %+v", health)
+	}
+}
+
+// TestEndpointCounters checks that /v1/stats attributes requests and
+// errors per endpoint (what merged cluster stats use to attribute load
+// per worker) while remaining decodable as plain simsvc.Stats.
+func TestEndpointCounters(t *testing.T) {
+	h := newTestHandler(t)
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"}); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("NoSuch"), Workload: "gzip"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad simulate: %d, want 400", rec.Code)
+	}
+	var st statsResponse
+	if rec := getJSON(t, h, "/v1/stats", &st); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/stats: %d", rec.Code)
+	}
+	sim := st.Endpoints["/v1/simulate"]
+	if sim.Requests != 2 || sim.Errors != 1 {
+		t.Errorf("/v1/simulate counters = %+v, want 2 requests / 1 error", sim)
+	}
+	if st.Endpoints["/v1/stats"].Requests != 1 {
+		t.Errorf("/v1/stats did not count itself: %+v", st.Endpoints["/v1/stats"])
+	}
+	// Flattened service counters stay top-level for pre-cluster
+	// clients.
+	if st.SimsRun != 1 {
+		t.Errorf("embedded SimsRun = %d, want 1", st.SimsRun)
+	}
+}
+
+// TestQueueBackpressure429 fills the one-worker service past its
+// queue bound and checks the next request is answered 429 with a
+// Retry-After hint instead of queueing unboundedly.
+func TestQueueBackpressure429(t *testing.T) {
+	svc, err := simsvc.New(simsvc.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := newServer(svc, serverOptions{defaultWarmup: 1_000, defaultMeasure: 3_000, maxUops: 10_000_000, maxQueue: 1})
+
+	// Warm one cell before saturating: it must keep being served even
+	// at full queue depth.
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"}); rec.Code != http.StatusOK {
+		t.Fatalf("warm simulate: %d", rec.Code)
+	}
+
+	// Occupy the single worker and park one more unique simulation in
+	// the queue, bypassing the handler so nothing here can 429.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := uint64(0); i < 2; i++ {
+		cfg, err := eole.NamedConfig("EOLE_4_64")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Submit(ctx, simsvc.Request{
+			Config: cfg, Workload: "gzip", Warmup: 10_000 + i, Measure: 2_000_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.QueueLen() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled (len %d)", svc.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "art"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After hint")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Error("429 body must carry the error message")
+	}
+	// Sweeps see the same backpressure.
+	if rec := postJSON(t, h, "/v1/sweep", sweepRequest{
+		Configs: []configRef{namedRef("EOLE_4_64")}, Workloads: []string{"art"},
+	}); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("saturated sweep answered %d, want 429", rec.Code)
+	}
+	// But cached work is free: the warm cell keeps being served (and a
+	// sweep of only warm cells passes) at full queue depth.
+	if rec := postJSON(t, h, "/v1/simulate", simulateRequest{Config: namedRef("EOLE_4_64"), Workload: "gzip"}); rec.Code != http.StatusOK {
+		t.Errorf("cached simulate answered %d under backpressure, want 200", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/sweep", sweepRequest{
+		Configs: []configRef{namedRef("EOLE_4_64")}, Workloads: []string{"gzip"},
+	}); rec.Code != http.StatusOK {
+		t.Errorf("fully-cached sweep answered %d under backpressure, want 200", rec.Code)
+	}
+}
+
 // TestTracesEndpoint runs a small sweep through a trace-enabled
 // service and checks /v1/traces lists the recordings (and that a
 // disabled service reports enabled=false).
@@ -254,7 +377,7 @@ func TestTracesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	h := newServer(svc, 1_000, 4_000, 1_000_000)
+	h := newServer(svc, serverOptions{defaultWarmup: 1_000, defaultMeasure: 4_000, maxUops: 1_000_000})
 
 	var resp tracesResponse
 	if rec := getJSON(t, h, "/v1/traces", &resp); rec.Code != http.StatusOK {
@@ -291,7 +414,7 @@ func TestTracesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(plain.Close)
-	hp := newServer(plain, 1_000, 4_000, 1_000_000)
+	hp := newServer(plain, serverOptions{defaultWarmup: 1_000, defaultMeasure: 4_000, maxUops: 1_000_000})
 	if rec := getJSON(t, hp, "/v1/traces", &resp); rec.Code != http.StatusOK {
 		t.Fatalf("/v1/traces: %d", rec.Code)
 	}

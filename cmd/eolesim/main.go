@@ -13,6 +13,19 @@
 //	eolesim -list
 //	eolesim -disasm mcf
 //	eolesim -config EOLE_4_64 -workload mcf -pipetrace 40
+//	eolesim -grid grid.json -workloads gzip,art -json            # local sweep
+//	eolesim -cluster host1:8080,host2:8080 -grid grid.json -workloads gzip,art -json
+//
+// Sweeps: -grid (a JSON file or inline object of the /v1/sweep grid
+// form, {"base_name":...,"axes":[...]}) and/or -workloads (comma
+// separated) switch eolesim into sweep mode: every (config, workload)
+// cell is simulated — through an in-process service by default, or
+// sharded across remote eoled workers with -cluster. Distributed
+// results are byte-identical to the local run (-json emits the report
+// array in cell order either way, so the two can be diffed directly).
+// With -cluster, explicit nonzero -warmup and -n are required: a zero
+// would be resolved by each worker's own defaults, breaking the
+// local/distributed equivalence.
 //
 // Custom configurations: -config accepts either a named paper
 // configuration or a path to a JSON file holding a Config object
@@ -74,6 +87,10 @@ func main() {
 		sampleWarm    = flag.Uint64("sample-warm", 40_000, "per-window functional-warming µ-ops (predictors + caches, no cycles)")
 		sampleMeasure = flag.Uint64("sample-measure", 0, "per-window measured µ-ops (0 = divide -n across windows)")
 		sampleDetail  = flag.Uint64("sample-detail", 0, "detailed pre-measure µ-ops per window, discarded from stats (0 = default)")
+
+		gridSpec   = flag.String("grid", "", "sweep mode: design-space grid as a JSON file path or inline object")
+		wlsCSV     = flag.String("workloads", "", "sweep mode: comma-separated workloads (default: the single -workload)")
+		clusterCSV = flag.String("cluster", "", "shard the sweep across these comma-separated eoled worker addresses")
 	)
 	flag.Parse()
 
@@ -135,6 +152,33 @@ func main() {
 		return
 	}
 
+	spec, err := samplingSpec(*sampleWin, *sampleSkip, *sampleWarm, *sampleMeasure, *sampleDetail, *n)
+	if err != nil {
+		fail(err)
+	}
+
+	if *gridSpec != "" || *wlsCSV != "" || *clusterCSV != "" {
+		// Single-run flags have no meaning across a sweep; say so
+		// instead of silently ignoring them.
+		if *record || *replay || *pipeN > 0 {
+			fmt.Fprintln(os.Stderr, "eolesim: -record/-replay/-pipetrace have no effect in sweep mode (sweeps replay in-process traces automatically)")
+		}
+		if err := runSweep(sweepArgs{
+			grid:      *gridSpec,
+			config:    *cfgName,
+			workloads: *wlsCSV,
+			workload:  *wlName,
+			cluster:   *clusterCSV,
+			warmup:    *warmup,
+			measure:   *n,
+			sampling:  spec,
+			asJSON:    *asJSON,
+		}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	w, err := eole.WorkloadByName(*wlName)
 	if err != nil {
 		fail(err)
@@ -143,30 +187,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	var spec *eole.SamplingSpec
-	if *sampleWin > 0 {
-		spec = &eole.SamplingSpec{
-			Windows:      *sampleWin,
-			Skip:         *sampleSkip,
-			Warm:         *sampleWarm,
-			Measure:      *sampleMeasure,
-			DetailWarmup: *sampleDetail,
-		}
-		// Plan validates the spec and additionally catches schedules
-		// that don't resolve against -n (e.g. more windows than
-		// measured µ-ops) before any work happens.
-		if _, err := spec.Plan(*n); err != nil {
-			fail(err)
-		}
-	}
 	// A sampled run consumes its whole window schedule from the
 	// source, so traces must cover the full stream, not just
 	// warmup+measure (saturating: StreamNeed caps at MaxUint64). A
 	// custom machine that fetches further ahead than the sampler's
 	// per-window flush budget discards more µ-ops at each window
 	// boundary, so that shortfall scales with the window count.
-	need := *warmup + *n
+	need := satAdd(*warmup, *n)
 	if spec != nil {
 		need = spec.StreamNeed(*warmup, *n)
 		if slack := eole.TraceSlackFor(cfg); slack > sample.FlushAllowance {

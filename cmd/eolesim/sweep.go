@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"eole"
+	"eole/internal/cluster"
+	"eole/internal/simsvc"
+)
+
+// samplingSpec builds and validates the optional sampling schedule
+// from the -sample-* flags (nil when -sample-windows is 0). Plan
+// additionally catches schedules that don't resolve against the
+// measure budget (e.g. more windows than measured µ-ops) before any
+// work happens.
+func samplingSpec(windows int, skip, warm, measure, detail, budget uint64) (*eole.SamplingSpec, error) {
+	if windows <= 0 {
+		return nil, nil
+	}
+	spec := &eole.SamplingSpec{
+		Windows:      windows,
+		Skip:         skip,
+		Warm:         warm,
+		Measure:      measure,
+		DetailWarmup: detail,
+	}
+	if _, err := spec.Plan(budget); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// sweepArgs carries the flag values of one sweep-mode invocation.
+type sweepArgs struct {
+	grid      string // -grid: JSON file path or inline object ("" = single -config)
+	config    string // -config: used when no grid is given
+	workloads string // -workloads CSV ("" = single -workload)
+	workload  string // -workload fallback
+	cluster   string // -cluster CSV of eoled addresses ("" = in-process)
+	warmup    uint64
+	measure   uint64
+	sampling  *eole.SamplingSpec
+	asJSON    bool
+}
+
+// runSweep executes a (configs × workloads) sweep — locally through an
+// in-process simulation service, or sharded across eoled workers with
+// -cluster. Both paths produce reports in the same cell order with the
+// same labels, so -json output is byte-identical either way.
+func runSweep(a sweepArgs) error {
+	if a.cluster != "" && (a.warmup == 0 || a.measure == 0) {
+		// A zero run length is resolved by each worker's own defaults,
+		// which breaks local/distributed equivalence (and can differ
+		// across a mixed-default fleet) — refuse rather than diverge
+		// silently.
+		return fmt.Errorf("-cluster requires explicit nonzero -warmup and -n (a zero would be replaced by each worker's own defaults)")
+	}
+	cfgs, err := sweepConfigs(a)
+	if err != nil {
+		return err
+	}
+	wls := []string{a.workload}
+	if a.workloads != "" {
+		wls = strings.Split(a.workloads, ",")
+	}
+	for i, wl := range wls {
+		wls[i] = strings.TrimSpace(wl)
+		if _, err := eole.WorkloadByName(wls[i]); err != nil {
+			return err
+		}
+	}
+	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, wls, a.warmup, a.measure), a.sampling)
+
+	var reports []*eole.Report
+	if a.cluster != "" {
+		reports, err = clusterSweep(a.cluster, reqs)
+	} else {
+		reports, err = localSweep(reqs)
+	}
+	if err != nil {
+		return err
+	}
+
+	if a.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for _, r := range reports {
+		if r.Sampled {
+			fmt.Printf("%-36s %-10s IPC %.4f ± %.4f\n", r.Config, r.Benchmark, r.IPC, r.IPCCI)
+		} else {
+			fmt.Printf("%-36s %-10s IPC %.4f\n", r.Config, r.Benchmark, r.IPC)
+		}
+	}
+	return nil
+}
+
+// sweepConfigs expands -grid (file or inline JSON, decoded strictly so
+// a typo'd axis field errors instead of sweeping a different space),
+// falling back to the single -config.
+func sweepConfigs(a sweepArgs) ([]eole.Config, error) {
+	if a.grid == "" {
+		cfg, err := resolveConfig(a.config)
+		if err != nil {
+			return nil, err
+		}
+		return []eole.Config{cfg}, nil
+	}
+	raw := []byte(a.grid)
+	if !strings.HasPrefix(strings.TrimSpace(a.grid), "{") {
+		b, err := os.ReadFile(a.grid)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var g eole.Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("-grid: %w", err)
+	}
+	cfgs, err := g.Configs()
+	if err != nil {
+		return nil, fmt.Errorf("-grid: %w", err)
+	}
+	return cfgs, nil
+}
+
+// localSweep runs the cells through an in-process service, relabeling
+// each report to its requested config exactly as eoled (and the
+// cluster coordinator) relabel — the single-node half of the
+// byte-identical guarantee. The service is trace-driven like eoled's
+// default: each workload is interpreted once and replayed per config
+// (replay is byte-identical to execute-driven, so output is
+// unaffected).
+func localSweep(reqs []simsvc.Request) ([]*eole.Report, error) {
+	svc, err := simsvc.New(simsvc.Options{Traces: true})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	sweep, err := svc.SubmitSweep(context.Background(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := sweep.Wait(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	for i := range reports {
+		reports[i] = cluster.Relabel(reports[i], reqs[i].Config.Label())
+	}
+	return reports, nil
+}
+
+// clusterSweep shards the cells across remote eoled workers.
+func clusterSweep(addrs string, reqs []simsvc.Request) ([]*eole.Report, error) {
+	co, err := cluster.New(cluster.Options{Workers: strings.Split(addrs, ",")})
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	return co.Sweep(context.Background(), reqs)
+}

@@ -7,9 +7,11 @@
 //	experiments -measure 300000 -warmup 100000 figure6
 //	experiments -workloads namd,mcf figure7
 //	experiments -sample-windows 8 -sample-warm 40000 figure7   # sampled sweeps
+//	experiments -cluster host1:8080,host2:8080 figure10        # shard sweeps across eoled workers
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"eole"
+	"eole/internal/cluster"
 	"eole/internal/experiments"
 	"eole/internal/simsvc"
 )
@@ -36,27 +39,53 @@ func main() {
 		sampleWin  = flag.Int("sample-windows", 0, "run every sweep sampled with this many measurement windows (0 = full runs)")
 		sampleSkip = flag.Uint64("sample-skip", 0, "per-window fast-forward µ-ops with no state updates")
 		sampleWarm = flag.Uint64("sample-warm", 40_000, "per-window functional-warming µ-ops")
+
+		clusterCSV = flag.String("cluster", "", "shard every sweep across these comma-separated eoled worker addresses (figures are identical to local runs — the simulator is deterministic)")
 	)
 	flag.Parse()
 
-	// One shared service across every artefact: the baseline columns
-	// that figures re-run are simulated once and served from cache,
-	// and (with -traces) each workload is interpreted once per run
-	// instead of once per (figure, config).
-	svc, err := simsvc.New(simsvc.Options{
-		Parallelism: *par,
-		CacheDir:    *cacheDir,
-		Traces:      *traces,
-		TraceDir:    *traceDir,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
-	defer svc.Close()
-
 	opts := experiments.DefaultOpts()
-	opts.Service = svc
+	var svc *simsvc.Service
+	var co *cluster.Coordinator
+	if *clusterCSV != "" {
+		// The cluster replaces the local service entirely: the workers
+		// run (and cache) every simulation, so the local-service flags
+		// are inert and no worker pool is spun up here.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{{*par != 0, "-parallelism"}, {*cacheDir != "", "-cache-dir"}, {!*traces, "-traces"}, {*traceDir != "", "-trace-dir"}} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "experiments: %s has no effect with -cluster (the workers own caching and tracing)\n", f.name)
+			}
+		}
+		var err error
+		co, err = cluster.New(cluster.Options{Workers: strings.Split(*clusterCSV, ",")})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer co.Close()
+		opts.Runner = co
+	} else {
+		// One shared service across every artefact: the baseline columns
+		// that figures re-run are simulated once and served from cache,
+		// and (with -traces) each workload is interpreted once per run
+		// instead of once per (figure, config).
+		var err error
+		svc, err = simsvc.New(simsvc.Options{
+			Parallelism: *par,
+			CacheDir:    *cacheDir,
+			Traces:      *traces,
+			TraceDir:    *traceDir,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer svc.Close()
+		opts.Service = svc
+	}
 	if *warmup > 0 {
 		opts.Warmup = *warmup
 	}
@@ -110,6 +139,17 @@ func main() {
 		fmt.Println(a.Text)
 	}
 	if *stats {
+		if co != nil {
+			cs := co.Stats(context.Background())
+			for _, w := range cs.Workers {
+				fmt.Fprintf(os.Stderr, "cluster: %s %s, %d dispatched, %d completed, %d requeued, %d throttled\n",
+					w.URL, w.State, w.Dispatched, w.Completed, w.Requeued, w.Throttled)
+			}
+			st := cs.Service
+			fmt.Fprintf(os.Stderr, "cluster: merged %d sims run (%d sampled), %d cache hits, %.0f µ-ops/s/worker over %s\n",
+				st.SimsRun, st.SimsSampled, st.CacheHits, st.UopsPerSec, st.SimWallTime.Round(1e6))
+			return
+		}
 		st := svc.Stats()
 		fmt.Fprintf(os.Stderr, "simsvc: %d sims run (%d sampled), %d cache hits (%d from disk), %d coalesced, %.0f µ-ops/s/worker over %s\n",
 			st.SimsRun, st.SimsSampled, st.CacheHits, st.DiskHits, st.Coalesced, st.UopsPerSec, st.SimWallTime.Round(1e6))

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eole"
+	"eole/internal/simsvc"
+)
+
+// stubWorker is a fake eoled: healthy by default, answering
+// /v1/simulate with a deterministic fabricated report. Behavior is
+// swappable per test via the handler hooks.
+type stubWorker struct {
+	srv *httptest.Server
+
+	simCalls atomic.Int64
+	// onSimulate, when non-nil, intercepts a /v1/simulate call (the
+	// call counter has already been bumped). Return true when the hook
+	// wrote the response itself.
+	onSimulate atomic.Pointer[func(w http.ResponseWriter, call int64) bool]
+	healthy    atomic.Bool
+}
+
+// simulateWire mirrors the fields cluster dispatch posts.
+type simulateWire struct {
+	Config   eole.Config        `json:"config"`
+	Workload string             `json:"workload"`
+	Warmup   uint64             `json:"warmup"`
+	Measure  uint64             `json:"measure"`
+	Sampling *eole.SamplingSpec `json:"sampling,omitempty"`
+}
+
+func newStubWorker(t *testing.T) *stubWorker {
+	t.Helper()
+	sw := &stubWorker{}
+	sw.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !sw.healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok", Version: "stub"})
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		call := sw.simCalls.Add(1)
+		if hook := sw.onSimulate.Load(); hook != nil && (*hook)(w, call) {
+			return
+		}
+		var req simulateWire
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// A deterministic fake: enough shape for Relabel and equality
+		// checks without running the simulator.
+		json.NewEncoder(w).Encode(&eole.Report{
+			Config:    req.Config.Label(),
+			Benchmark: req.Workload,
+			Cycles:    req.Measure,
+			Committed: req.Measure,
+			IPC:       1.0,
+		})
+	})
+	sw.srv = httptest.NewServer(mux)
+	t.Cleanup(sw.srv.Close)
+	return sw
+}
+
+func (sw *stubWorker) hook(f func(w http.ResponseWriter, call int64) bool) {
+	sw.onSimulate.Store(&f)
+}
+
+func testCoordinator(t *testing.T, opts Options) *Coordinator {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func namedConfig(t *testing.T, name string) eole.Config {
+	t.Helper()
+	cfg, err := eole.NamedConfig(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func req(cfg eole.Config, wl string) simsvc.Request {
+	return simsvc.Request{Config: cfg, Workload: wl, Warmup: 1_000, Measure: 3_000}
+}
+
+// TestDedupAndRelabel: two sweep cells whose configs share a
+// fingerprint under different display names must dispatch once
+// cluster-wide, and each slot must come back under its own label —
+// exactly how single-node eoled relabels.
+func TestDedupAndRelabel(t *testing.T) {
+	sw := newStubWorker(t)
+	c := testCoordinator(t, Options{Workers: []string{sw.srv.URL}})
+
+	base := namedConfig(t, "EOLE_4_64")
+	alias := base
+	alias.Name = "MyAlias"
+	reports, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(base, "gzip"), req(alias, "gzip"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sw.simCalls.Load(); n != 1 {
+		t.Errorf("identical cells dispatched %d times, want 1", n)
+	}
+	if reports[0].Config != "EOLE_4_64" || reports[1].Config != "MyAlias" {
+		t.Errorf("labels %q/%q, want EOLE_4_64/MyAlias", reports[0].Config, reports[1].Config)
+	}
+	if reports[0].IPC != reports[1].IPC {
+		t.Errorf("deduped cells disagree: %v vs %v", reports[0].IPC, reports[1].IPC)
+	}
+}
+
+// TestRetryOn5xx: a worker answering 500 is retried on the other
+// worker without tripping the failing worker's circuit (a clean HTTP
+// answer proves it alive).
+func TestRetryOn5xx(t *testing.T) {
+	flaky, good := newStubWorker(t), newStubWorker(t)
+	flaky.hook(func(w http.ResponseWriter, call int64) bool {
+		if call <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	c := testCoordinator(t, Options{
+		Workers:     []string{flaky.srv.URL, good.srv.URL},
+		MaxInFlight: 1,
+	})
+	cfg := namedConfig(t, "EOLE_4_64")
+	reports, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(cfg, "gzip"), req(cfg, "art"), req(cfg, "mcf"),
+	})
+	if err != nil {
+		t.Fatalf("sweep should survive transient 5xx: %v", err)
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost", i)
+		}
+	}
+	var requeued uint64
+	for _, ws := range c.Workers() {
+		requeued += ws.Requeued
+		if ws.URL == flaky.srv.URL && ws.State == "open" {
+			t.Errorf("5xx answers must not open the circuit")
+		}
+	}
+	if requeued == 0 {
+		t.Errorf("expected at least one requeue after 5xx")
+	}
+}
+
+// Test429Backpressure: a 429 rests the worker for the Retry-After hint
+// and requeues the cell without consuming a retry attempt.
+func Test429Backpressure(t *testing.T) {
+	sw := newStubWorker(t)
+	sw.hook(func(w http.ResponseWriter, call int64) bool {
+		if call == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return true
+		}
+		return false
+	})
+	c := testCoordinator(t, Options{Workers: []string{sw.srv.URL}, MaxAttempts: 1})
+	run, err := c.Start(context.Background(), []simsvc.Request{req(namedConfig(t, "EOLE_4_64"), "gzip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("429 must be backpressure, not failure (MaxAttempts=1): %v", err)
+	}
+	if reports[0] == nil {
+		t.Fatal("cell lost")
+	}
+	if got := run.Meta()[0].Attempts; got != 1 {
+		t.Errorf("attempts = %d, want 1 (throttle does not consume the budget)", got)
+	}
+	if ws := c.Workers()[0]; ws.Throttled != 1 {
+		t.Errorf("throttled counter = %d, want 1", ws.Throttled)
+	}
+}
+
+// TestRejected400: a 400 may be one worker's local policy (stricter
+// -max-uops), so the cell is retried elsewhere — here the second
+// worker accepts what the first rejects; the strict worker's circuit
+// stays closed.
+func TestRejected400(t *testing.T) {
+	strict, lax := newStubWorker(t), newStubWorker(t)
+	strict.hook(func(w http.ResponseWriter, _ int64) bool {
+		http.Error(w, `{"error":"run length exceeds server limit"}`, http.StatusBadRequest)
+		return true
+	})
+	c := testCoordinator(t, Options{
+		Workers:     []string{strict.srv.URL, lax.srv.URL},
+		MaxInFlight: 1,
+	})
+	cfg := namedConfig(t, "EOLE_4_64")
+	reports, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(cfg, "gzip"), req(cfg, "art"), req(cfg, "mcf"),
+	})
+	if err != nil {
+		t.Fatalf("a per-worker 400 must not sink the sweep: %v", err)
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost", i)
+		}
+	}
+	if ws := c.Workers()[0]; ws.State == "open" {
+		t.Error("clean 400 answers must not open the circuit")
+	}
+
+	// When every worker rejects it, the cell fails with the worker's
+	// message after the attempt budget.
+	lone := newStubWorker(t)
+	lone.hook(func(w http.ResponseWriter, _ int64) bool {
+		http.Error(w, `{"error":"bad config"}`, http.StatusBadRequest)
+		return true
+	})
+	c2 := testCoordinator(t, Options{Workers: []string{lone.srv.URL}, MaxAttempts: 2})
+	reports, err = c2.Sweep(context.Background(), []simsvc.Request{req(cfg, "gzip")})
+	if err == nil || reports[0] != nil {
+		t.Fatalf("unanimous 400 must fail the cell: err=%v", err)
+	}
+	if n := lone.simCalls.Load(); n != 2 {
+		t.Errorf("400 dispatched %d times, want MaxAttempts=2", n)
+	}
+}
+
+// TestDeadPeerSurvived: a peer that was never reachable (unknown host,
+// wrong port) must not sink the sweep — its cells requeue to the live
+// worker and its circuit opens.
+func TestDeadPeerSurvived(t *testing.T) {
+	good := newStubWorker(t)
+	c := testCoordinator(t, Options{
+		Workers:          []string{"127.0.0.1:1", good.srv.URL},
+		FailureThreshold: 1,
+		MaxInFlight:      1,
+	})
+	cfg := namedConfig(t, "EOLE_4_64")
+	reports, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(cfg, "gzip"), req(cfg, "art"), req(cfg, "mcf"), req(cfg, "namd"),
+	})
+	if err != nil {
+		t.Fatalf("sweep must survive one dead peer: %v", err)
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ws := c.Workers()[0]; ws.State == "open" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead peer's circuit never opened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAllWorkersDead: with every circuit open and nothing in flight
+// the run fails fast with ErrNoWorkers instead of parking forever.
+func TestAllWorkersDead(t *testing.T) {
+	c := testCoordinator(t, Options{
+		Workers:          []string{"127.0.0.1:1"},
+		FailureThreshold: 1,
+		MaxAttempts:      2,
+	})
+	_, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(namedConfig(t, "EOLE_4_64"), "gzip"),
+		req(namedConfig(t, "EOLE_6_64"), "gzip"),
+	})
+	if err == nil {
+		t.Fatal("want failure with no live workers")
+	}
+	if !errors.Is(err, ErrNoWorkers) && !errors.Is(err, context.DeadlineExceeded) {
+		// The first cell burns the attempt budget; the rest fail with
+		// ErrNoWorkers once the circuit is open.
+		t.Logf("joined error: %v", err)
+	}
+}
+
+// TestProbeRecovery: the prober opens the circuit while /v1/healthz
+// fails and closes it again on the first success.
+func TestProbeRecovery(t *testing.T) {
+	sw := newStubWorker(t)
+	sw.healthy.Store(false)
+	c := testCoordinator(t, Options{
+		Workers:          []string{sw.srv.URL},
+		ProbeInterval:    10 * time.Millisecond,
+		FailureThreshold: 2,
+	})
+	waitState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if ws := c.Workers()[0]; ws.State == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker never became %q (now %q)", want, c.Workers()[0].State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitState("open")
+	sw.healthy.Store(true)
+	waitState("healthy")
+	if v := c.Workers()[0].Version; v != "stub" {
+		t.Errorf("probe did not record the worker version: %q", v)
+	}
+}
+
+// TestCanceledSweep: canceling the sweep context fails queued cells
+// with the context error and the run still terminates cleanly.
+func TestCanceledSweep(t *testing.T) {
+	sw := newStubWorker(t)
+	release := make(chan struct{})
+	sw.hook(func(http.ResponseWriter, int64) bool {
+		<-release // park the dispatch so cancellation races nothing
+		return false
+	})
+	c := testCoordinator(t, Options{Workers: []string{sw.srv.URL}, MaxInFlight: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := namedConfig(t, "EOLE_4_64")
+	run, err := c.Start(ctx, []simsvc.Request{req(cfg, "gzip"), req(cfg, "art")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	_, err = run.Wait(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in the joined error, got %v", err)
+	}
+	select {
+	case <-run.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never terminated after cancel")
+	}
+	// Our own canceled dispatches say nothing about worker health: the
+	// circuit must stay closed so concurrent runs keep dispatching.
+	if ws := c.Workers()[0]; ws.State == "open" {
+		t.Errorf("run cancellation opened a healthy worker's circuit: %+v", ws)
+	}
+}
+
+// TestDispatchTimeout: a wedged-but-connectable worker (accepts the
+// POST, never answers, healthz fine) must not pin a cell forever when
+// DispatchTimeout is set — the timeout feeds the ordinary requeue path
+// and the healthy worker completes the sweep.
+func TestDispatchTimeout(t *testing.T) {
+	wedged, good := newStubWorker(t), newStubWorker(t)
+	parked := make(chan struct{})
+	wedged.hook(func(http.ResponseWriter, int64) bool {
+		<-parked // hold every simulate forever; healthz stays green
+		return true
+	})
+	t.Cleanup(func() { close(parked) })
+	c := testCoordinator(t, Options{
+		Workers:         []string{wedged.srv.URL, good.srv.URL},
+		MaxInFlight:     1,
+		DispatchTimeout: 50 * time.Millisecond,
+	})
+	cfg := namedConfig(t, "EOLE_4_64")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reports, err := c.Sweep(ctx, []simsvc.Request{req(cfg, "gzip"), req(cfg, "art")})
+	if err != nil {
+		t.Fatalf("sweep must route around a wedged worker: %v", err)
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("cell %d lost to the wedged worker", i)
+		}
+	}
+}
+
+// TestRetryAfterOverflow: an absurd Retry-After value must clamp, not
+// overflow into a negative delay that defeats the throttle cap.
+func TestRetryAfterOverflow(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"10000000000"}}}
+	if d := retryAfter(resp); d != maxRetryAfter {
+		t.Errorf("retryAfter = %v, want the %v clamp", d, maxRetryAfter)
+	}
+	resp.Header.Set("Retry-After", "1")
+	if d := retryAfter(resp); d != time.Second {
+		t.Errorf("retryAfter = %v, want 1s", d)
+	}
+}
+
+// TestAddStatsCoversAllFields walks simsvc.Stats by reflection and
+// fails if addStats drops a numeric field: a counter added to the
+// service in a future PR must not silently merge to zero in
+// /v1/cluster/workers.
+func TestAddStatsCoversAllFields(t *testing.T) {
+	var a simsvc.Stats
+	v := reflect.ValueOf(&a).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(1)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(1)
+		case reflect.Float64:
+			f.SetFloat(1)
+		}
+	}
+	sum := reflect.ValueOf(addStats(a, a))
+	for i := 0; i < sum.NumField(); i++ {
+		name := sum.Type().Field(i).Name
+		if name == "UopsPerSec" {
+			continue // recomputed from the summed totals by the caller
+		}
+		var got float64
+		switch f := sum.Field(i); f.Kind() {
+		case reflect.Uint64:
+			got = float64(f.Uint())
+		case reflect.Int, reflect.Int64:
+			got = float64(f.Int())
+		case reflect.Float64:
+			got = f.Float()
+		default:
+			t.Fatalf("simsvc.Stats.%s has kind %v: teach addStats (and this test) about it", name, f.Kind())
+		}
+		if got != 2 {
+			t.Errorf("addStats drops simsvc.Stats.%s (sum = %v, want 2)", name, got)
+		}
+	}
+}
+
+// TestStatsMerge: Coordinator.Stats sums reachable workers' service
+// counters and attaches per-endpoint attribution.
+func TestStatsMerge(t *testing.T) {
+	a, b := newStubWorker(t), newStubWorker(t)
+	statsFor := func(sims uint64) func(w http.ResponseWriter, r *http.Request) {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			json.NewEncoder(w).Encode(ServiceStats{
+				Stats: simsvc.Stats{SimsRun: sims, SimulatedOps: sims * 1000,
+					SimWallTime: time.Duration(sims) * time.Millisecond},
+				Endpoints: map[string]EndpointStats{"/v1/simulate": {Requests: sims}},
+			})
+		}
+	}
+	// The stub mux has no /v1/stats; bolt one on per worker.
+	amux, bmux := http.NewServeMux(), http.NewServeMux()
+	amux.HandleFunc("GET /v1/stats", statsFor(3))
+	amux.Handle("/", a.srv.Config.Handler)
+	bmux.HandleFunc("GET /v1/stats", statsFor(5))
+	bmux.Handle("/", b.srv.Config.Handler)
+	asrv, bsrv := httptest.NewServer(amux), httptest.NewServer(bmux)
+	t.Cleanup(asrv.Close)
+	t.Cleanup(bsrv.Close)
+
+	c := testCoordinator(t, Options{Workers: []string{asrv.URL, bsrv.URL}})
+	st := c.Stats(context.Background())
+	if len(st.Workers) != 2 {
+		t.Fatalf("%d workers, want 2", len(st.Workers))
+	}
+	if st.Service.SimsRun != 8 {
+		t.Errorf("merged SimsRun = %d, want 8", st.Service.SimsRun)
+	}
+	if st.Service.UopsPerSec == 0 {
+		t.Error("merged UopsPerSec not recomputed")
+	}
+	for i, w := range st.Workers {
+		if w.Service == nil {
+			t.Fatalf("worker %d service stats missing", i)
+		}
+		if w.Service.Endpoints["/v1/simulate"].Requests == 0 {
+			t.Errorf("worker %d endpoint attribution missing", i)
+		}
+	}
+}

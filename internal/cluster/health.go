@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// probeBackoffCap bounds the failing-state probe interval at this
+// multiple of ProbeInterval (doubling per consecutive failure): a dead
+// worker is still probed often enough to rejoin within seconds of
+// coming back.
+const probeBackoffCap = 16
+
+// probeLoop periodically probes one worker's /v1/healthz. A success
+// resets the failure count and closes the circuit (waking blocked
+// dispatch loops); failures back off exponentially and open the
+// circuit at FailureThreshold. The first probe fires immediately, but
+// workers start optimistically healthy so dispatch never waits on it.
+func (c *Coordinator) probeLoop(w *worker) {
+	defer c.wg.Done()
+	interval := c.opts.ProbeInterval
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-timer.C:
+		}
+		h, err := c.probeOnce(w)
+		c.mu.Lock()
+		if err == nil {
+			recovered := w.open || w.consecFails > 0
+			w.open = false
+			w.consecFails = 0
+			w.lastErr = ""
+			w.health = h
+			interval = c.opts.ProbeInterval
+			if recovered {
+				c.cond.Broadcast()
+			}
+		} else {
+			w.consecFails++
+			w.lastErr = err.Error()
+			if w.consecFails >= c.opts.FailureThreshold {
+				w.open = true
+			}
+			if interval < c.opts.ProbeInterval*probeBackoffCap {
+				interval *= 2
+			}
+		}
+		c.mu.Unlock()
+		timer.Reset(interval)
+	}
+}
+
+// probeOnce performs one GET /v1/healthz round trip.
+func (c *Coordinator) probeOnce(w *worker) (Health, error) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return Health{}, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("healthz: bad body: %w", err)
+	}
+	if h.Status != "ok" {
+		return Health{}, fmt.Errorf("healthz: status %q", h.Status)
+	}
+	return h, nil
+}

@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"eole"
+	"eole/internal/simsvc"
+)
+
+// cell is one unique simulation of a run: a representative request
+// plus every sweep index that deduped onto its content address.
+type cell struct {
+	key      simsvc.Key
+	req      simsvc.Request
+	indexes  []int
+	attempts int
+	// tried records workers this cell has been dispatched to, so a
+	// retry prefers a worker it has not visited yet (guarded by
+	// Coordinator.mu).
+	tried map[*worker]bool
+}
+
+// CellMeta records where one sweep cell was computed.
+type CellMeta struct {
+	// Worker is the URL of the worker that produced the result (empty
+	// when the cell failed before any worker answered).
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts dispatches, including the successful one;
+	// requeues after 429 backpressure are not counted.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// CellResult is one completed unique cell, delivered on Run.Results in
+// completion order. Indexes lists every sweep position the cell covers
+// (identical cells are dispatched once cluster-wide); Report carries
+// the worker's label for the representative request — per-index
+// relabeled reports are what Run.Wait returns.
+type CellResult struct {
+	Indexes  []int
+	Config   string
+	Workload string
+	Meta     CellMeta
+	Report   *eole.Report
+	Err      error
+}
+
+// Run is one in-flight distributed sweep.
+type Run struct {
+	c    *Coordinator
+	ctx  context.Context
+	reqs []simsvc.Request
+
+	results chan CellResult
+	done    chan struct{}
+
+	// Guarded by c.mu until done is closed, then immutable.
+	queue    []*cell
+	pending  int // cells not yet terminal
+	inflight int // this run's dispatches currently on the wire
+	reports  []*eole.Report
+	errs     []error
+	meta     []CellMeta
+	err      error
+}
+
+// Start decomposes the sweep into deduplicated cells and begins
+// dispatching them. Results stream on Results; Wait collects them
+// aligned with reqs.
+func (c *Coordinator) Start(ctx context.Context, reqs []simsvc.Request) (*Run, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("cluster: empty sweep")
+	}
+	if c.ctx.Err() != nil {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &Run{
+		c:       c,
+		ctx:     ctx,
+		reqs:    reqs,
+		reports: make([]*eole.Report, len(reqs)),
+		errs:    make([]error, len(reqs)),
+		meta:    make([]CellMeta, len(reqs)),
+		done:    make(chan struct{}),
+	}
+	byKey := make(map[simsvc.Key]*cell, len(reqs))
+	for i, req := range reqs {
+		k := simsvc.KeyOf(req)
+		if cl, ok := byKey[k]; ok {
+			cl.indexes = append(cl.indexes, i)
+			continue
+		}
+		cl := &cell{key: k, req: req, indexes: []int{i}}
+		byKey[k] = cl
+		r.queue = append(r.queue, cl)
+	}
+	r.pending = len(r.queue)
+	r.results = make(chan CellResult, len(r.queue))
+	// A canceled sweep context must wake the dispatch loop so it can
+	// fail the still-queued cells (wake, not a bare Broadcast: see
+	// Coordinator.wake).
+	stop := context.AfterFunc(ctx, c.wake)
+	go func() {
+		defer stop()
+		r.loop()
+	}()
+	return r, nil
+}
+
+// Results delivers every unique cell as it completes and is closed
+// when the run is done. The channel is buffered to the cell count, so
+// a consumer may also just Wait.
+func (r *Run) Results() <-chan CellResult { return r.results }
+
+// Done is closed when every cell is terminal.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Meta returns per-sweep-index placement (worker, attempts), valid
+// after Done.
+func (r *Run) Meta() []CellMeta {
+	<-r.done
+	return r.meta
+}
+
+// Err returns sweep index i's terminal error (nil when it has a
+// report), blocking until the run is done.
+func (r *Run) Err(i int) error {
+	<-r.done
+	return r.errs[i]
+}
+
+// Wait blocks until the run completes (or ctx fires) and returns the
+// reports aligned with the submitted requests. Failed cells leave nil
+// slots and contribute to the joined error — mirroring
+// simsvc.Sweep.Wait so callers can swap backends.
+func (r *Run) Wait(ctx context.Context) ([]*eole.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-r.done:
+		return r.reports, r.err
+	default:
+	}
+	select {
+	case <-r.done:
+		return r.reports, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Sweep is the one-call form: shard reqs across the cluster and block
+// for the merged reports.
+func (c *Coordinator) Sweep(ctx context.Context, reqs []simsvc.Request) ([]*eole.Report, error) {
+	r, err := c.Start(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return r.Wait(ctx)
+}
+
+// loop is the run's dispatcher: it pairs queued cells with the least
+// loaded dispatchable worker and blocks on the coordinator's condition
+// variable whenever neither work nor capacity is available. It exits
+// when every cell is terminal.
+func (r *Run) loop() {
+	c := r.c
+	c.mu.Lock()
+	for r.pending > 0 {
+		if err := r.deadErr(); err != nil {
+			// Fail everything still queued; in-flight dispatches resolve
+			// through their own (now canceled) request contexts.
+			r.failQueuedLocked(err)
+			if r.pending == 0 {
+				break
+			}
+			c.cond.Wait()
+			continue
+		}
+		if len(r.queue) == 0 {
+			c.cond.Wait()
+			continue
+		}
+		cl := r.queue[0]
+		w := c.pickWorkerLocked(cl.tried, time.Now())
+		if w == nil {
+			if c.allOpenLocked() && r.inflight == 0 {
+				// Every circuit is open and nothing of ours is on the
+				// wire: the cluster is gone, so fail fast rather than
+				// park the sweep until a worker resurrects.
+				r.failQueuedLocked(ErrNoWorkers)
+				continue
+			}
+			c.cond.Wait()
+			continue
+		}
+		r.queue = r.queue[1:]
+		cl.attempts++
+		if cl.tried == nil {
+			cl.tried = make(map[*worker]bool, len(c.workers))
+		}
+		cl.tried[w] = true
+		w.inflight++
+		r.inflight++
+		w.dispatched.Add(1)
+		go r.dispatch(cl, w)
+	}
+	r.finishLocked()
+	c.mu.Unlock()
+}
+
+// deadErr reports why the run can no longer make progress (sweep
+// context canceled or coordinator closed), or nil.
+func (r *Run) deadErr() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if r.c.ctx.Err() != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// failQueuedLocked fails every not-yet-dispatched cell. Requires c.mu.
+func (r *Run) failQueuedLocked(err error) {
+	for _, cl := range r.queue {
+		r.finishCellLocked(cl, nil, err, "")
+	}
+	r.queue = nil
+}
+
+// finishCellLocked records a cell's terminal result for every sweep
+// index it covers and emits it on the results channel (buffered to the
+// cell count, so the send cannot block). Requires c.mu.
+func (r *Run) finishCellLocked(cl *cell, rep *eole.Report, err error, workerURL string) {
+	meta := CellMeta{Worker: workerURL, Attempts: cl.attempts}
+	for _, i := range cl.indexes {
+		r.meta[i] = meta
+		if err != nil {
+			r.errs[i] = err
+			continue
+		}
+		// Per-index relabel: deduped cells may carry different display
+		// names over the same fingerprint, and single-node eoled labels
+		// each request individually.
+		r.reports[i] = Relabel(rep, r.reqs[i].Config.Label())
+	}
+	r.pending--
+	r.results <- CellResult{
+		Indexes:  cl.indexes,
+		Config:   cl.req.Config.Label(),
+		Workload: cl.req.Workload,
+		Meta:     meta,
+		Report:   rep,
+		Err:      err,
+	}
+}
+
+// finishLocked seals the run: joins per-cell errors and closes the
+// channels. Requires c.mu.
+func (r *Run) finishLocked() {
+	var errs []error
+	for i, err := range r.errs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s on %s: %w",
+				r.reqs[i].Config.Label(), r.reqs[i].Workload, err))
+		}
+	}
+	r.err = errors.Join(errs...)
+	close(r.results)
+	close(r.done)
+}
+
+// dispatchOutcome classifies one dispatch round trip.
+type dispatchOutcome int
+
+const (
+	outcomeOK dispatchOutcome = iota
+	// outcomePermanent: the request cannot be built at all (local
+	// encode failure); no dispatch anywhere could succeed.
+	outcomePermanent
+	// outcomeRetry: transient or worker-local failure; requeue unless
+	// the attempt budget is spent.
+	outcomeRetry
+	// outcomeThrottle: 429 backpressure; requeue without consuming an
+	// attempt and rest the worker for the Retry-After hint.
+	outcomeThrottle
+)
+
+// dispatch posts one cell to one worker and resolves the outcome under
+// the coordinator lock.
+func (r *Run) dispatch(cl *cell, w *worker) {
+	rep, delay, outcome, workerFault, err := r.post(cl.req, w)
+
+	c := r.c
+	c.mu.Lock()
+	w.inflight--
+	r.inflight--
+	switch outcome {
+	case outcomeOK:
+		w.completed.Add(1)
+		r.finishCellLocked(cl, rep, nil, w.url)
+	case outcomePermanent:
+		w.failed.Add(1)
+		r.finishCellLocked(cl, nil, err, w.url)
+	case outcomeThrottle:
+		w.throttled.Add(1)
+		cl.attempts-- // backpressure is not a failed attempt
+		w.throttledUntil = time.Now().Add(delay)
+		r.queue = append(r.queue, cl)
+		// The throttle expiry must wake the dispatch loop even if no
+		// other event does (wake, not a bare Broadcast: the lock-free
+		// form could slip between a loop's predicate check and its
+		// Wait and be lost).
+		time.AfterFunc(delay, c.wake)
+	case outcomeRetry:
+		if workerFault && r.deadErr() == nil {
+			// Connection-level failures count toward the circuit like
+			// failed probes; a live worker's clean 5xx answer does not —
+			// and neither does our own dying run context, whose canceled
+			// dispatches say nothing about worker health.
+			c.noteDispatchFailureLocked(w, err)
+		}
+		switch {
+		case r.deadErr() != nil:
+			r.finishCellLocked(cl, nil, r.deadErr(), w.url)
+		case cl.attempts >= c.opts.MaxAttempts:
+			w.failed.Add(1)
+			r.finishCellLocked(cl, nil,
+				fmt.Errorf("cluster: cell failed after %d attempts: %w", cl.attempts, err), w.url)
+		default:
+			w.requeued.Add(1)
+			r.queue = append(r.queue, cl)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// post performs the HTTP round trip for one cell: POST /v1/simulate
+// with the config inline, decoding the worker's Report on success.
+func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, err error) {
+	body, err := json.Marshal(struct {
+		Config   eole.Config        `json:"config"`
+		Workload string             `json:"workload"`
+		Warmup   uint64             `json:"warmup"`
+		Measure  uint64             `json:"measure"`
+		Sampling *eole.SamplingSpec `json:"sampling,omitempty"`
+	}{req.Config, req.Workload, req.Warmup, req.Measure, req.Sampling})
+	if err != nil {
+		return nil, 0, outcomePermanent, false, fmt.Errorf("cluster: encode request: %w", err)
+	}
+	ctx := r.ctx
+	if d := r.c.opts.DispatchTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, outcomePermanent, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.c.client.Do(hreq)
+	if err != nil {
+		// Connection refused/reset, DNS failure, or our own context: a
+		// worker fault unless the run itself is dying (classified by
+		// the caller via deadErr).
+		return nil, 0, outcomeRetry, true, fmt.Errorf("cluster: %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var report eole.Report
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&report); err != nil {
+			// A 200 with a broken body is a connection killed mid-reply
+			// (e.g. the worker died): retry elsewhere.
+			return nil, 0, outcomeRetry, true, fmt.Errorf("cluster: %s: bad report body: %w", w.url, err)
+		}
+		return &report, 0, outcomeOK, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		delay := retryAfter(resp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, delay, outcomeThrottle, false, nil
+	default:
+		// Everything else — 400, 5xx, unexpected statuses — is
+		// retryable: a 400 may be one worker's local policy (a stricter
+		// -max-uops than its peers), so the cell deserves a try
+		// elsewhere before failing with the worker's message. No
+		// circuit penalty either way: a well-formed HTTP answer proves
+		// the worker alive, and a cell-specific failure must not break
+		// every worker it visits.
+		return nil, 0, outcomeRetry, false,
+			fmt.Errorf("cluster: %s: status %d: %s", w.url, resp.StatusCode, errorBody(resp))
+	}
+}
+
+// maxRetryAfter caps the worker-supplied Retry-After hint: the header
+// is remote input, and honoring an absurd value would park the sweep
+// on a throttled-but-closed circuit with no cell ever failing.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfter parses the Retry-After seconds hint (default 500ms —
+// short enough that a briefly saturated worker is retried promptly),
+// clamped to maxRetryAfter. The clamp happens on the integer before
+// the Duration multiply: a huge header value would otherwise overflow
+// int64 into a negative delay and defeat the cap.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return min(time.Duration(min(secs, int(maxRetryAfter/time.Second)))*time.Second, maxRetryAfter)
+		}
+	}
+	return 500 * time.Millisecond
+}
+
+// errorBody extracts eoled's {"error": "..."} message, falling back to
+// a body snippet.
+func errorBody(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// Relabel returns the report labeled with the requested config's
+// label. Content-addressed caching and cluster dedup key on
+// Config.Fingerprint and ignore display names, so a cell can be
+// answered by a simulation run under an identically-parameterized
+// config with a different name; single-node eoled relabels the same
+// way, which is what keeps distributed results byte-identical.
+func Relabel(r *eole.Report, label string) *eole.Report {
+	if r == nil || r.Config == label {
+		return r
+	}
+	cp := *r
+	cp.Config = label
+	return &cp
+}

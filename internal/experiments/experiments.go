@@ -51,8 +51,21 @@ type Opts struct {
 	// build on confidence-bounded IPC estimates — the tables carry the
 	// means; sampled and full results never share cache entries.
 	Sampling *eole.SamplingSpec
+	// Runner, when non-nil, executes sweeps instead of the local
+	// service — e.g. a cluster.Coordinator sharding the cells across
+	// remote eoled workers. The simulator is deterministic, so figures
+	// are identical whichever backend runs them. Service/Traces/
+	// TraceDir are ignored when Runner is set.
+	Runner SweepRunner
 	// Context cancels in-flight sweeps (nil = background).
 	Context context.Context
+}
+
+// SweepRunner executes one batch of simulation requests and returns
+// reports aligned with them (nil slots joined into the error).
+// *cluster.Coordinator satisfies it; so does any local adapter.
+type SweepRunner interface {
+	Sweep(ctx context.Context, reqs []simsvc.Request) ([]*eole.Report, error)
 }
 
 // DefaultOpts returns run lengths that finish the full suite in
@@ -99,6 +112,25 @@ func runSet(o Opts, cfgs []eole.Config) (map[runKey]*eole.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, o.workloads(), o.Warmup, o.Measure), o.Sampling)
+	reports, err := runReqs(ctx, o, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[runKey]*eole.Report, len(reqs))
+	for i, r := range reports {
+		out[runKey{reqs[i].Config.Name, reqs[i].Workload}] = r
+	}
+	return out, nil
+}
+
+// runReqs executes one request batch through the configured backend:
+// the Runner (e.g. a cluster coordinator) when set, else the shared or
+// a private local service.
+func runReqs(ctx context.Context, o Opts, reqs []simsvc.Request) ([]*eole.Report, error) {
+	if o.Runner != nil {
+		return o.Runner.Sweep(ctx, reqs)
+	}
 	svc := o.Service
 	if svc == nil {
 		var err error
@@ -112,20 +144,11 @@ func runSet(o Opts, cfgs []eole.Config) (map[runKey]*eole.Report, error) {
 		}
 		defer svc.Close()
 	}
-	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, o.workloads(), o.Warmup, o.Measure), o.Sampling)
 	sweep, err := svc.SubmitSweep(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
-	reports, err := sweep.Wait(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[runKey]*eole.Report, len(reqs))
-	for i, r := range reports {
-		out[runKey{reqs[i].Config.Name, reqs[i].Workload}] = r
-	}
-	return out, nil
+	return sweep.Wait(ctx)
 }
 
 func named(name string) eole.Config {

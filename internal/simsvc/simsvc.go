@@ -28,6 +28,12 @@ import (
 // ErrClosed is returned by Submit and Wait after Close has begun.
 var ErrClosed = errors.New("simsvc: service closed")
 
+// DefaultQueueDepth is the queue bound applied when
+// Options.QueueDepth is zero. Exported so serving layers sizing their
+// backpressure thresholds against the queue (eoled's -max-queue) stay
+// in sync with it.
+const DefaultQueueDepth = 4096
+
 // Status is a job's lifecycle state.
 type Status int32
 
@@ -61,7 +67,7 @@ type Options struct {
 	// Parallelism is the worker count (0 = GOMAXPROCS).
 	Parallelism int
 	// QueueDepth bounds the number of queued unique simulations
-	// (0 = 4096). Submit blocks when the queue is full.
+	// (0 = DefaultQueueDepth). Submit blocks when the queue is full.
 	QueueDepth int
 	// CacheEntries bounds the in-memory result cache (0 = 16384,
 	// negative = unbounded). The oldest entry is evicted when full;
@@ -213,7 +219,7 @@ func New(opts Options) (*Service, error) {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if opts.QueueDepth <= 0 {
-		opts.QueueDepth = 4096
+		opts.QueueDepth = DefaultQueueDepth
 	}
 	if opts.CacheEntries == 0 {
 		opts.CacheEntries = 16384
@@ -426,6 +432,34 @@ func FromGrid(g eole.Grid, workloads []string, warmup, measure uint64) ([]Reques
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats { return s.m.snapshot(s.cache.len()) }
+
+// QueueLen reports how many unique simulations are queued and not yet
+// picked up by a worker (running ones excluded). Serving layers use it
+// for backpressure: eoled answers 429 instead of queueing once the
+// depth crosses its bound.
+func (s *Service) QueueLen() int { return len(s.queue) }
+
+// FreeToServe reports whether Submit would answer the request without
+// consuming a queue slot: its result is already in the in-memory
+// cache, or an identical simulation is queued/running and the job
+// would coalesce onto it. Backpressure layers use it so warm and
+// duplicate traffic keeps flowing through a backlog; the disk spill
+// is deliberately not probed (this must stay cheap enough for a
+// request fast path).
+func (s *Service) FreeToServe(req Request) bool { return s.FreeToServeKey(KeyOf(req)) }
+
+// FreeToServeKey is FreeToServe for a precomputed content address
+// (callers that already hashed the request to dedupe need not hash it
+// twice).
+func (s *Service) FreeToServeKey(key Key) bool {
+	if s.cache.getMem(key) != nil {
+		return true
+	}
+	s.mu.Lock()
+	_, ok := s.inflight[key]
+	s.mu.Unlock()
+	return ok
+}
 
 // Parallelism returns the resolved worker count.
 func (s *Service) Parallelism() int { return s.opts.Parallelism }
