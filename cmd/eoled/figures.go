@@ -1,0 +1,246 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"eole"
+	"eole/internal/experiments"
+	"eole/internal/simsvc"
+	"eole/internal/stats"
+)
+
+// The figure service renders the paper's figures — and ad-hoc IPC
+// charts — as SVG straight from sweep reports. The simulator is
+// deterministic and the renderer formats every coordinate with fixed
+// precision, so the same figure URL always returns byte-identical
+// bytes; figure cells run through the shared simsvc service, so they
+// hit the same content-addressed cache as every other request.
+
+// svgContentType is the Content-Type of /v1/figures responses.
+const svgContentType = "image/svg+xml; charset=utf-8"
+
+// figuresIndex is GET /v1/figures: the renderable artefacts and the
+// URL shapes that fetch them.
+type figuresIndex struct {
+	Figures []string `json:"figures"`
+	Usage   []string `json:"usage"`
+}
+
+func (s *server) handleFiguresIndex(w http.ResponseWriter, _ *http.Request) {
+	var ids []string
+	for _, id := range experiments.IDs() {
+		// table1 and section6 are text-only (ErrNoTable); everything
+		// else has a tabular form the SVG renderer can draw. Checked by
+		// name, not by calling TableByID — building a figure's table
+		// runs its sweep.
+		if id == "table1" || id == "section6" {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	ids = append(ids, "ipc")
+	writeJSON(w, http.StatusOK, figuresIndex{
+		Figures: ids,
+		Usage: []string{
+			"GET /v1/figures/{id}?kind=bars|heatmap&workloads=a,b&warmup=N&measure=N",
+			"GET /v1/figures/ipc?configs=EOLE_4_64,Baseline_6_64&workloads=a,b&windows=8&warm=40000",
+		},
+	})
+}
+
+// handleFigure renders one figure as SVG. Paper figures (figure6,
+// figure7, ...) re-run their sweep through the shared service (cached
+// cells are free); the special id "ipc" charts a query-driven
+// (configs × workloads) sweep with CI whiskers when sampled.
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		tb  *stats.Table
+		ref float64
+		err error
+	)
+	if id == "ipc" {
+		tb, err = s.ipcTable(r)
+	} else {
+		tb, err = s.paperTable(id, r)
+		ref = experiments.RefLine(id)
+	}
+	if err != nil {
+		writeError(w, figureStatus(err), err)
+		return
+	}
+	var svg []byte
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "", "bars":
+		svg, err = tb.RenderSVG(ref)
+	case "heatmap":
+		svg, err = tb.RenderSVGHeatmap()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q (bars or heatmap)", kind))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", svgContentType)
+	_, _ = w.Write(svg)
+}
+
+// figureStatus maps figure-build failures: unknown ids and bad
+// parameters are the client's (400), everything else falls back to
+// statusFor.
+func figureStatus(err error) int {
+	msg := err.Error()
+	if errors.Is(err, experiments.ErrNoTable) ||
+		strings.Contains(msg, "unknown artefact") ||
+		strings.Contains(msg, "unknown workload") ||
+		strings.Contains(msg, "unknown benchmark") ||
+		strings.Contains(msg, "unknown config") ||
+		strings.Contains(msg, "exceeds") ||
+		strings.HasPrefix(msg, "bad ") {
+		return http.StatusBadRequest
+	}
+	return statusFor(err)
+}
+
+// paperTable builds a paper figure's table via the experiments
+// harness, sharing the server's simulation service (and so its cache).
+func (s *server) paperTable(id string, r *http.Request) (*stats.Table, error) {
+	q := r.URL.Query()
+	o := experiments.DefaultOpts()
+	o.Service = s.svc
+	o.Context = r.Context()
+	var err error
+	if o.Warmup, o.Measure, err = s.figureRunLengths(r); err != nil {
+		return nil, err
+	}
+	if wls := q.Get("workloads"); wls != "" {
+		o.Workloads = strings.Split(wls, ",")
+	}
+	return experiments.TableByID(id, o)
+}
+
+// figureRunLengths parses warmup/measure query overrides, defaulting
+// to the experiments-harness defaults (not the server's simulate
+// defaults: figures should match what cmd/experiments renders).
+func (s *server) figureRunLengths(r *http.Request) (uint64, uint64, error) {
+	o := experiments.DefaultOpts()
+	warmup, measure := o.Warmup, o.Measure
+	q := r.URL.Query()
+	if v := q.Get("warmup"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad warmup %q", v)
+		}
+		warmup = n
+	}
+	if v := q.Get("measure"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad measure %q", v)
+		}
+		measure = n
+	}
+	return s.runLengths(warmup, measure, nil)
+}
+
+// ipcTable runs a query-driven (configs × workloads) sweep and builds
+// an IPC table: one row per workload, one series per config. Sampled
+// sweeps (windows/skip/warm query parameters) carry the 95% CI as
+// whiskers.
+func (s *server) ipcTable(r *http.Request) (*stats.Table, error) {
+	q := r.URL.Query()
+	names := []string{"EOLE_4_64"}
+	if v := q.Get("configs"); v != "" {
+		names = strings.Split(v, ",")
+	}
+	cfgs := make([]eole.Config, len(names))
+	for i, name := range names {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+	wls := eole.WorkloadNames()
+	if v := q.Get("workloads"); v != "" {
+		wls = strings.Split(v, ",")
+		for _, wl := range wls {
+			if _, err := eole.WorkloadByName(wl); err != nil {
+				return nil, err
+			}
+		}
+	}
+	warmup, measure, err := s.figureRunLengths(r)
+	if err != nil {
+		return nil, err
+	}
+	var sampling *eole.SamplingSpec
+	if v := q.Get("windows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad windows %q", v)
+		}
+		spec := eole.SamplingSpec{Windows: n}
+		if s := q.Get("skip"); s != "" {
+			if spec.Skip, err = strconv.ParseUint(s, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad skip %q", s)
+			}
+		}
+		spec.Warm = 40_000
+		if s := q.Get("warm"); s != "" {
+			if spec.Warm, err = strconv.ParseUint(s, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad warm %q", s)
+			}
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		if _, _, err := s.runLengths(warmup, measure, &spec); err != nil {
+			return nil, err
+		}
+		sampling = &spec
+	}
+	if cells := len(cfgs) * len(wls); cells > maxSweepCells {
+		return nil, fmt.Errorf("figure sweep of %d cells exceeds limit %d", cells, maxSweepCells)
+	}
+	reqs := simsvc.ApplySampling(simsvc.Cross(cfgs, wls, warmup, measure), sampling)
+	sweep, err := s.svc.SubmitSweep(r.Context(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := sweep.Wait(r.Context())
+	if err != nil {
+		return nil, err
+	}
+
+	cols := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		cols[i] = cfg.Label()
+	}
+	tb := stats.NewTable("IPC", "workload", cols...)
+	if sampling != nil {
+		tb.Note = fmt.Sprintf("sampled: %d windows, 95%% CI whiskers", sampling.Windows)
+	}
+	// Cross is config-major: report index = ci*len(wls) + wi.
+	for wi, wl := range wls {
+		vals := make([]float64, len(cfgs))
+		cis := make([]float64, len(cfgs))
+		for ci := range cfgs {
+			rep := reports[ci*len(wls)+wi]
+			vals[ci] = rep.IPC
+			cis[ci] = rep.IPCCI
+		}
+		if sampling != nil {
+			tb.AddRowCI(wl, vals, cis)
+		} else {
+			tb.AddRow(wl, vals...)
+		}
+	}
+	return tb, nil
+}

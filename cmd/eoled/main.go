@@ -68,11 +68,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,24 +90,33 @@ const version = "0.5.0"
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", "", "spill simulation results to this directory")
-		cacheN   = flag.Int("cache-entries", 0, "in-memory result cache bound (0 = 16384, negative = unbounded)")
-		warmup   = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
-		measure  = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
-		maxUops  = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
-		maxQueue = flag.Int("max-queue", 1024, "queue-depth bound: answer 429 with Retry-After once this many unique simulations are queued (0 disables the 429; requests then block once the internal queue fills)")
-		traces   = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
-		traceDir = flag.String("trace-dir", "", "persist recorded traces to this directory (implies -traces)")
-		traceMax = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
-		peers    = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
-		workerOn = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		par       = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", "", "spill simulation results to this directory")
+		cacheN    = flag.Int("cache-entries", 0, "in-memory result cache bound (0 = 16384, negative = unbounded)")
+		warmup    = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
+		measure   = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
+		maxUops   = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
+		maxQueue  = flag.Int("max-queue", 1024, "queue-depth bound: answer 429 with Retry-After once this many unique simulations are queued (0 disables the 429; requests then block once the internal queue fills)")
+		traces    = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
+		traceDir  = flag.String("trace-dir", "", "persist recorded traces to this directory (implies -traces)")
+		traceMax  = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
+		peers     = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
+		workerOn  = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-job and per-dispatch records)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default and never on the API listener")
 	)
 	flag.Parse()
 
 	if *workerOn && *peers != "" {
 		fmt.Fprintln(os.Stderr, "eoled: -worker and -peers are mutually exclusive")
+		os.Exit(1)
+	}
+
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eoled:", err)
 		os.Exit(1)
 	}
 
@@ -125,6 +137,7 @@ func main() {
 		Traces:       *traces,
 		TraceDir:     *traceDir,
 		TraceMaxOps:  *traceMax,
+		Logger:       logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eoled:", err)
@@ -133,17 +146,29 @@ func main() {
 
 	var coord *cluster.Coordinator
 	if *peers != "" {
-		coord, err = cluster.New(cluster.Options{Workers: strings.Split(*peers, ",")})
+		coord, err = cluster.New(cluster.Options{
+			Workers: strings.Split(*peers, ","),
+			Logger:  logger,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eoled:", err)
 			os.Exit(1)
 		}
 		defer coord.Close()
-		log.Printf("eoled: coordinating %d workers", len(coord.Workers()))
+		logger.Info("cluster_coordinating", "workers", len(coord.Workers()))
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener, so profiling
+		// endpoints are never reachable through the API address.
+		go servePprof(logger, *pprofAddr)
+	}
+
+	// openConns tracks connections the listener has accepted and not
+	// yet closed, so the shutdown log can say how many were still open
+	// when the grace period ran out.
+	var openConns atomic.Int64
 	srv := &http.Server{
-		Addr: *addr,
 		Handler: newServer(svc, serverOptions{
 			defaultWarmup:  *warmup,
 			defaultMeasure: *measure,
@@ -151,39 +176,111 @@ func main() {
 			maxQueue:       *maxQueue,
 			version:        version,
 			coord:          coord,
+			logger:         logger,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
+		ConnState: func(_ net.Conn, state http.ConnState) {
+			switch state {
+			case http.StateNew:
+				openConns.Add(1)
+			case http.StateClosed, http.StateHijacked:
+				openConns.Add(-1)
+			}
+		},
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so a bind failure
+	// is reported before the serving goroutine starts, and the startup
+	// log can carry the resolved address — ":0" style addresses resolve
+	// to a real port worth printing.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen_failed", "addr", *addr, "error", err.Error())
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("eoled: listening on %s (parallelism %d)", *addr, svc.Parallelism())
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"parallelism", svc.Parallelism(),
+		"version", version)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("eoled: %v", err)
+		logger.Error("serve_failed", "addr", ln.Addr().String(), "error", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	// Restore default signal handling: a second SIGINT/SIGTERM kills
 	// the process instead of being swallowed while we drain.
 	stop()
 
-	log.Printf("eoled: shutting down")
+	logger.Info("shutting_down", "open_connections", openConns.Load(), "inflight_sims", svc.InFlight())
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("eoled: shutdown grace period expired; abandoning open connections")
+			logger.Warn("shutdown_grace_expired", "open_connections", openConns.Load())
 		} else {
-			log.Printf("eoled: shutdown: %v", err)
+			logger.Error("shutdown_failed", "error", err.Error())
 		}
 	}
 	// Simulations are not preemptible: Close returns once running ones
 	// finish (queued ones are abandoned), which can outlast the HTTP
 	// grace period for long requests.
-	log.Printf("eoled: waiting for running simulations")
+	if n := svc.InFlight(); n > 0 {
+		logger.Info("draining_sims", "inflight_sims", n)
+	}
 	svc.Close()
+	logger.Info("stopped")
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text or json)", format)
+}
+
+// servePprof serves net/http/pprof on its own listener and mux. A
+// profiler failing to bind is worth a log line, not a dead process.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Error("pprof_listen_failed", "addr", addr, "error", err.Error())
+		return
+	}
+	logger.Info("pprof_listening", "addr", ln.Addr().String())
+	if err := http.Serve(ln, mux); err != nil {
+		logger.Error("pprof_serve_failed", "error", err.Error())
+	}
 }

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 
 	"eole"
 	"eole/internal/cluster"
+	"eole/internal/obs"
 	"eole/internal/simsvc"
 )
 
@@ -46,6 +49,9 @@ type serverOptions struct {
 	// /v1/cluster/* endpoints are routed and shard sweeps across its
 	// workers.
 	coord *cluster.Coordinator
+	// logger receives the structured request log (one Info record per
+	// request, carrying the request ID). nil discards.
+	logger *slog.Logger
 }
 
 // endpointCounters is one endpoint's request accounting; errors counts
@@ -64,27 +70,49 @@ type server struct {
 	// endpoints maps route path -> counters; built once in newServer,
 	// read-only afterwards (the counters themselves are atomic).
 	endpoints map[string]*endpointCounters
+	// reg is the Prometheus registry behind GET /metrics; httpm holds
+	// the per-endpoint request/latency instruments fed by route().
+	reg   *obs.Registry
+	httpm *obs.HTTPMetrics
+	log   *slog.Logger
 }
 
 func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
+	logger := opts.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &server{
 		svc:       svc,
 		opts:      opts,
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointCounters),
+		reg:       obs.NewRegistry(),
+		log:       logger,
+	}
+	s.httpm = obs.NewHTTPMetrics(s.reg)
+	obs.RegisterRuntimeMetrics(s.reg)
+	registerServiceMetrics(s.reg, svc)
+	if opts.coord != nil {
+		registerClusterMetrics(s.reg, opts.coord)
 	}
 	mux := http.NewServeMux()
 	// route registers a handler wrapped with per-endpoint request and
 	// error counting (surfaced in /v1/stats under "endpoints", keyed by
-	// the pattern's path component).
+	// the pattern's path component) plus the Prometheus request/latency
+	// instruments, labeled by route pattern — never the raw URL path,
+	// whose unbounded values would explode label cardinality.
 	route := func(pattern string, h http.HandlerFunc) {
 		parts := strings.Fields(pattern)
+		path := parts[len(parts)-1]
 		ep := &endpointCounters{}
-		s.endpoints[parts[len(parts)-1]] = ep
+		s.endpoints[path] = ep
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			ep.requests.Add(1)
 			cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+			t0 := time.Now()
 			h(cw, r)
+			s.httpm.Observe(path, cw.status, time.Since(t0))
 			if cw.status >= 400 {
 				ep.errors.Add(1)
 			}
@@ -97,11 +125,20 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	route("GET /v1/traces", s.handleTraces)
 	route("GET /v1/stats", s.handleStats)
 	route("GET /v1/healthz", s.handleHealthz)
+	route("GET /v1/figures", s.handleFiguresIndex)
+	route("GET /v1/figures/{id}", s.handleFigure)
 	if opts.coord != nil {
 		route("POST /v1/cluster/sweep", s.handleClusterSweep)
 		route("GET /v1/cluster/workers", s.handleClusterWorkers)
 	}
-	return mux
+	// /metrics bypasses route(): scrapes should not inflate the request
+	// accounting they report.
+	mux.Handle("GET /metrics", s.reg.Handler())
+	// The access-log middleware wraps the whole mux: it assigns (or
+	// adopts) the request ID, stores it in the context for handlers and
+	// the cluster dispatcher, echoes it on the response, and emits one
+	// structured record per request.
+	return obs.AccessLog(logger, mux)
 }
 
 // countingWriter records the response status for the per-endpoint

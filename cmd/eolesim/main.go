@@ -91,6 +91,7 @@ func main() {
 		gridSpec   = flag.String("grid", "", "sweep mode: design-space grid as a JSON file path or inline object")
 		wlsCSV     = flag.String("workloads", "", "sweep mode: comma-separated workloads (default: the single -workload)")
 		clusterCSV = flag.String("cluster", "", "shard the sweep across these comma-separated eoled worker addresses")
+		svgPath    = flag.String("svg", "", "sweep mode: additionally render the IPC table as SVG to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -157,6 +158,12 @@ func main() {
 		fail(err)
 	}
 
+	if *svgPath != "" && *gridSpec == "" && *wlsCSV == "" && *clusterCSV == "" {
+		// -svg renders a sweep table; promote a bare single run into a
+		// one-cell sweep rather than silently ignoring the flag.
+		*wlsCSV = *wlName
+	}
+
 	if *gridSpec != "" || *wlsCSV != "" || *clusterCSV != "" {
 		// Single-run flags have no meaning across a sweep; say so
 		// instead of silently ignoring them.
@@ -173,6 +180,7 @@ func main() {
 			measure:   *n,
 			sampling:  spec,
 			asJSON:    *asJSON,
+			svg:       *svgPath,
 		}); err != nil {
 			fail(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"eole"
 	"eole/internal/cluster"
 	"eole/internal/simsvc"
+	"eole/internal/stats"
 )
 
 // samplingSpec builds and validates the optional sampling schedule
@@ -46,6 +47,7 @@ type sweepArgs struct {
 	measure   uint64
 	sampling  *eole.SamplingSpec
 	asJSON    bool
+	svg       string // -svg: render the IPC table to this path ("-" = stdout)
 }
 
 // runSweep executes a (configs × workloads) sweep — locally through an
@@ -86,10 +88,18 @@ func runSweep(a sweepArgs) error {
 		return err
 	}
 
+	if a.svg != "" {
+		if err := writeSweepSVG(a.svg, cfgs, wls, reports, a.sampling != nil); err != nil {
+			return err
+		}
+	}
 	if a.asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
+	}
+	if a.svg == "-" {
+		return nil // SVG already owns stdout
 	}
 	for _, r := range reports {
 		if r.Sampled {
@@ -99,6 +109,44 @@ func runSweep(a sweepArgs) error {
 		}
 	}
 	return nil
+}
+
+// writeSweepSVG renders the sweep as an IPC bar chart (one row per
+// workload, one series per config; CI whiskers when sampled) — the
+// same table shape eoled serves on /v1/figures/ipc.
+func writeSweepSVG(path string, cfgs []eole.Config, wls []string, reports []*eole.Report, sampled bool) error {
+	cols := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		cols[i] = cfg.Label()
+	}
+	tb := stats.NewTable("IPC", "workload", cols...)
+	if sampled {
+		tb.Note = "sampled run: 95% CI whiskers"
+	}
+	// Cross is config-major: report index = ci*len(wls) + wi.
+	for wi, wl := range wls {
+		vals := make([]float64, len(cfgs))
+		cis := make([]float64, len(cfgs))
+		for ci := range cfgs {
+			r := reports[ci*len(wls)+wi]
+			vals[ci] = r.IPC
+			cis[ci] = r.IPCCI
+		}
+		if sampled {
+			tb.AddRowCI(wl, vals, cis)
+		} else {
+			tb.AddRow(wl, vals...)
+		}
+	}
+	svg, err := tb.RenderSVG(0)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(svg)
+		return err
+	}
+	return os.WriteFile(path, svg, 0o644)
 }
 
 // sweepConfigs expands -grid (file or inline JSON, decoded strictly so

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"eole"
@@ -30,6 +31,7 @@ func main() {
 		measure  = flag.Uint64("measure", 0, "measured µ-ops (default: harness default)")
 		wls      = flag.String("workloads", "", "comma-separated benchmark subset")
 		chart    = flag.Bool("chart", false, "render figures as ASCII bar charts")
+		figdir   = flag.String("figdir", "", "additionally write each tabular artefact as <id>.svg into this directory")
 		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "spill simulation results to this directory (reused across runs)")
 		stats    = flag.Bool("stats", false, "print simulation-service statistics at exit")
@@ -108,7 +110,37 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+	if *figdir != "" {
+		if err := os.MkdirAll(*figdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 	for _, id := range ids {
+		if *figdir != "" {
+			tb, err := experiments.TableByID(id, opts)
+			switch {
+			case err == nil:
+				// Speedup figures draw the 1.0 reference line; IPC and
+				// accuracy tables draw none.
+				svg, err := tb.RenderSVG(experiments.RefLine(id))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*figdir, id+".svg")
+				if err := os.WriteFile(path, svg, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+			case errors.Is(err, experiments.ErrNoTable):
+				// Text-only artefacts have no figure; skip silently.
+			default:
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
 		if *chart {
 			tb, err := experiments.TableByID(id, opts)
 			switch {

@@ -27,6 +27,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -95,6 +97,11 @@ type Options struct {
 	// closed — must not pin a cell forever: the timeout fails the
 	// dispatch into the ordinary retry-with-requeue path.
 	DispatchTimeout time.Duration
+	// Logger receives cluster events (nil = discard): circuit
+	// open/close transitions at Info, per-cell dispatches at Debug.
+	// Dispatch events carry the sweep's request ID so a coordinator's
+	// logs line up with the worker-side access logs.
+	Logger *slog.Logger
 }
 
 // worker is the coordinator's view of one eoled. Mutable state is
@@ -124,6 +131,7 @@ type Coordinator struct {
 	opts    Options
 	client  *http.Client
 	workers []*worker
+	log     *slog.Logger
 
 	ctx    context.Context // canceled by Close: probers exit, runs drain
 	cancel context.CancelFunc
@@ -158,8 +166,11 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = max(3, len(opts.Workers)+2)
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &Coordinator{opts: opts, client: opts.Client, ctx: ctx, cancel: cancel}
+	c := &Coordinator{opts: opts, client: opts.Client, log: opts.Logger, ctx: ctx, cancel: cancel}
 	c.cond = sync.NewCond(&c.mu)
 	seen := make(map[string]bool, len(opts.Workers))
 	for _, u := range opts.Workers {
@@ -222,8 +233,9 @@ func (c *Coordinator) wake() {
 func (c *Coordinator) noteDispatchFailureLocked(w *worker, err error) {
 	w.consecFails++
 	w.lastErr = err.Error()
-	if w.consecFails >= c.opts.FailureThreshold {
+	if w.consecFails >= c.opts.FailureThreshold && !w.open {
 		w.open = true
+		c.log.Info("circuit_open", "worker", w.url, "consecutive_failures", w.consecFails, "error", w.lastErr)
 	}
 }
 

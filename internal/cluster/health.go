@@ -35,6 +35,9 @@ func (c *Coordinator) probeLoop(w *worker) {
 		c.mu.Lock()
 		if err == nil {
 			recovered := w.open || w.consecFails > 0
+			if w.open {
+				c.log.Info("circuit_close", "worker", w.url, "version", h.Version)
+			}
 			w.open = false
 			w.consecFails = 0
 			w.lastErr = ""
@@ -46,8 +49,9 @@ func (c *Coordinator) probeLoop(w *worker) {
 		} else {
 			w.consecFails++
 			w.lastErr = err.Error()
-			if w.consecFails >= c.opts.FailureThreshold {
+			if w.consecFails >= c.opts.FailureThreshold && !w.open {
 				w.open = true
+				c.log.Info("circuit_open", "worker", w.url, "consecutive_failures", w.consecFails, "error", w.lastErr)
 			}
 			if interval < c.opts.ProbeInterval*probeBackoffCap {
 				interval *= 2

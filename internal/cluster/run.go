@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"eole"
+	"eole/internal/obs"
 	"eole/internal/simsvc"
 )
 
@@ -302,6 +303,9 @@ const (
 // dispatch posts one cell to one worker and resolves the outcome under
 // the coordinator lock.
 func (r *Run) dispatch(cl *cell, w *worker) {
+	r.c.log.Debug("cell_dispatch", "worker", w.url, "key", cl.key.String(),
+		"config", cl.req.Config.Label(), "workload", cl.req.Workload,
+		"attempt", cl.attempts, "request_id", obs.RequestID(r.ctx))
 	rep, delay, outcome, workerFault, err := r.post(cl.req, w)
 
 	c := r.c
@@ -373,6 +377,12 @@ func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.
 		return nil, 0, outcomePermanent, false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Stamp the sweep's request ID on the dispatch so the worker's
+	// access log (and its simsvc lifecycle events) carry the same ID
+	// as the coordinator's — one sweep, one trace.
+	if id := obs.RequestID(r.ctx); id != "" {
+		hreq.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := r.c.client.Do(hreq)
 	if err != nil {
 		// Connection refused/reset, DNS failure, or our own context: a

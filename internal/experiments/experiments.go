@@ -495,6 +495,19 @@ func TableByID(id string, o Opts) (*stats.Table, error) {
 	return nil, fmt.Errorf("experiments: unknown artefact %q (try table1-3, figure2,4,6,7,8,10,11,12,13, section6)", id)
 }
 
+// RefLine returns the reference-line value for a figure's chart: 1.0
+// for speedup-over-baseline figures (the paper draws the baseline as a
+// horizontal line), 0 for absolute-valued ones (no line). Shared by
+// eoled's /v1/figures and the experiments -figdir output so the two
+// render identically.
+func RefLine(id string) float64 {
+	switch id {
+	case "figure6", "figure7", "figure8", "figure10", "figure11", "figure12", "figure13":
+		return 1.0
+	}
+	return 0
+}
+
 // IDs lists the artefact identifiers in paper order.
 func IDs() []string {
 	return []string{"table1", "table2", "table3", "figure2", "figure4",

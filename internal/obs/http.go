@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter records the status code and response size for the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps a handler with request-ID management and one
+// structured log line per request. A valid incoming X-Eole-Request-Id
+// is adopted (so coordinator-stamped dispatches trace through the
+// worker's logs); otherwise a fresh ID is generated. The ID is stored
+// in the request context, echoed on the response header, and logged
+// with method, path, status, response bytes, duration and remote
+// address. Raw paths are safe in log lines (unlike metric labels,
+// which must use route patterns — see HTTPMetrics).
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(id) {
+			id = NewRequestID()
+		}
+		r = r.WithContext(WithRequestID(r.Context(), id))
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Info("http_request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000.0,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// HTTPMetrics holds the per-endpoint request instruments. Observe is
+// keyed by the route *pattern* (e.g. "/v1/sweep"), never the raw
+// request path: raw paths are attacker-chosen and would explode label
+// cardinality.
+type HTTPMetrics struct {
+	requests *CounterVec
+	errors   *CounterVec
+	duration *HistogramVec
+}
+
+// NewHTTPMetrics registers the HTTP request instruments on r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec("eole_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "path", "code"),
+		errors: r.CounterVec("eole_http_request_errors_total",
+			"HTTP requests answered with a 4xx or 5xx status, by route pattern.", "path"),
+		duration: r.HistogramVec("eole_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.", nil, "path"),
+	}
+}
+
+// Observe records one completed request.
+func (m *HTTPMetrics) Observe(pattern string, status int, d time.Duration) {
+	m.requests.With(pattern, itoa(status)).Inc()
+	if status >= 400 {
+		m.errors.With(pattern).Inc()
+	}
+	m.duration.With(pattern).Observe(d.Seconds())
+}
+
+// itoa formats small positive ints without strconv's allocation for
+// the common three-digit status codes.
+func itoa(v int) string {
+	if v >= 100 && v < 1000 {
+		return string([]byte{byte('0' + v/100), byte('0' + v/10%10), byte('0' + v%10)})
+	}
+	buf := [8]byte{}
+	i := len(buf)
+	if v <= 0 {
+		return "0"
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

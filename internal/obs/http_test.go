@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccessLogGeneratesID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	var seen string
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("short and stout"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/simulate", nil))
+
+	if !ValidRequestID(seen) {
+		t.Fatalf("handler saw invalid request ID %q", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != seen {
+		t.Errorf("response header %q != context ID %q", got, seen)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("access log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line["request_id"] != seen {
+		t.Errorf("log request_id = %v, want %q", line["request_id"], seen)
+	}
+	if line["status"] != float64(http.StatusTeapot) {
+		t.Errorf("log status = %v", line["status"])
+	}
+	if line["bytes"] != float64(len("short and stout")) {
+		t.Errorf("log bytes = %v", line["bytes"])
+	}
+	if line["path"] != "/v1/simulate" {
+		t.Errorf("log path = %v", line["path"])
+	}
+}
+
+func TestAccessLogAdoptsValidID(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	var seen string
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "sweep-1234.abc")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "sweep-1234.abc" {
+		t.Errorf("valid incoming ID not adopted: %q", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "sweep-1234.abc" {
+		t.Errorf("incoming ID not echoed: %q", got)
+	}
+}
+
+func TestAccessLogRejectsHostileID(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	var seen string
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+	for _, hostile := range []string{"", "has space", "x\ny", strings.Repeat("a", 65)} {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(RequestIDHeader, hostile)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		if seen == hostile || !ValidRequestID(seen) {
+			t.Errorf("hostile ID %q adopted or replacement invalid (%q)", hostile, seen)
+		}
+	}
+}
+
+func TestAccessLogDefaultStatus(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	// Handler writes nothing: status must default to 200.
+	h := AccessLog(logger, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["status"] != float64(200) {
+		t.Errorf("default status = %v, want 200", line["status"])
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(t.Context(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("RequestID = %q", got)
+	}
+	if got := RequestID(t.Context()); got != "" {
+		t.Errorf("empty context returned %q", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if !ValidRequestID(a) || !ValidRequestID(b) {
+		t.Fatalf("generated IDs invalid: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two generated IDs collided: %q", a)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	m.Observe("/v1/simulate", 200, 3*time.Millisecond)
+	m.Observe("/v1/simulate", 200, 7*time.Millisecond)
+	m.Observe("/v1/sweep", 429, 100*time.Microsecond)
+	m.Observe("/v1/sweep", 500, time.Second)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`eole_http_requests_total{path="/v1/simulate",code="200"} 2`,
+		`eole_http_requests_total{path="/v1/sweep",code="429"} 1`,
+		`eole_http_request_errors_total{path="/v1/sweep"} 2`,
+		`eole_http_request_duration_seconds_count{path="/v1/simulate"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `eole_http_request_errors_total{path="/v1/simulate"}`) {
+		t.Errorf("2xx requests must not count as errors:\n%s", out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, tc := range []struct {
+		v    int
+		want string
+	}{{200, "200"}, {418, "418"}, {99, "99"}, {1000, "1000"}, {0, "0"}, {-5, "0"}} {
+		if got := itoa(tc.v); got != tc.want {
+			t.Errorf("itoa(%d) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintValid(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP a_total Things.",
+		"# TYPE a_total counter",
+		"a_total 3",
+		`a_total{x="y"} 1`,
+		"# HELP lat_seconds Latency.",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 1.5",
+		"lat_seconds_count 2",
+		"# a free-form comment",
+		"",
+	}, "\n")
+	if err := Lint([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintTimestamps(t *testing.T) {
+	in := "# HELP a_total X.\n# TYPE a_total counter\na_total 3 1700000000000\n"
+	if err := Lint([]byte(in)); err != nil {
+		t.Fatalf("timestamped sample rejected: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before HELP/TYPE": "a_total 3\n",
+		"HELP without TYPE":       "# HELP a_total X.\na_total 3\n",
+		"invalid metric name":     "# HELP 9bad X.\n# TYPE 9bad counter\n9bad 3\n",
+		"unknown type":            "# HELP a X.\n# TYPE a widget\na 3\n",
+		"duplicate TYPE":          "# HELP a X.\n# TYPE a counter\n# TYPE a counter\na 3\n",
+		"duplicate HELP":          "# HELP a X.\n# HELP a X.\n# TYPE a counter\na 3\n",
+		"bad value":               "# HELP a X.\n# TYPE a counter\na zebra\n",
+		"bad timestamp":           "# HELP a X.\n# TYPE a counter\na 3 soon\n",
+		"unterminated labels":     "# HELP a X.\n# TYPE a counter\na{x=\"y\" 3\n",
+		"unquoted label value":    "# HELP a X.\n# TYPE a counter\na{x=y} 3\n",
+		"invalid label name":      "# HELP a X.\n# TYPE a counter\na{9x=\"y\"} 3\n",
+		"invalid escape":          "# HELP a X.\n# TYPE a counter\na{x=\"\\q\"} 3\n",
+		"dangling escape":         "# HELP a X.\n# TYPE a counter\na{x=\"y\\\n",
+		"missing value":           "# HELP a X.\n# TYPE a counter\na{x=\"y\"}\n",
+		"bare name":               "# HELP a X.\n# TYPE a counter\na\n",
+		"incomplete pair at EOF":  "# HELP a X.\n# TYPE b counter\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted invalid input:\n%s", name, in)
+		}
+	}
+}
+
+func TestLintHistogramSuffixes(t *testing.T) {
+	// _bucket/_sum/_count must resolve to the family's HELP/TYPE.
+	in := "lat_seconds_bucket{le=\"+Inf\"} 1\n"
+	if err := Lint([]byte(in)); err == nil {
+		t.Fatal("bucket sample without family HELP/TYPE must fail")
+	}
+}

@@ -1,0 +1,449 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus text exposition format 0.0.4, implemented directly so
+// the repository stays dependency-free. The registry supports the
+// three instrument kinds the service needs — counters, gauges and
+// histograms, each with optional labels — plus gather-time callbacks
+// that sync instruments from existing snapshots (simsvc.Stats, the
+// cluster coordinator's worker table, runtime.MemStats) just before
+// every exposition.
+
+// ExpositionContentType is the Content-Type of GET /metrics.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+var (
+	validMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	validLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// DefBuckets is the default latency histogram layout (seconds),
+// matching the conventional Prometheus client defaults.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// family is one metric family: a name, help text, a type, a fixed
+// label-name set, and its series. Guarded by Registry.mu.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge" or "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+
+	series map[string]*series // keyed by rendered label pairs
+	order  []string           // label keys, sorted at exposition
+}
+
+// series is one (family, label values) time series. Guarded by
+// Registry.mu.
+type series struct {
+	labelKey string // pre-rendered `k="v",...` ("" for no labels)
+
+	value float64        // counter/gauge
+	fn    func() float64 // func-backed gauge/counter (wins over value)
+
+	counts []uint64 // histogram per-bucket cumulative-at-render counts
+	sum    float64
+	count  uint64
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. One mutex guards all registration, updates
+// and exposition: instruments are updated at most once per HTTP
+// request or simulation, so contention is negligible and determinism
+// is trivial.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	gathers  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnGather registers a callback invoked (in registration order) at
+// the start of every exposition, before any family is rendered. Use
+// it to sync instruments from an external snapshot — service stats,
+// cluster worker state, runtime memory stats.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gathers = append(r.gathers, fn)
+}
+
+// register creates (or fetches) a family, panicking on invalid names
+// or a redefinition with a different shape — both programming errors.
+func (r *Registry) register(name, help, typ string, buckets []float64, labels ...string) *family {
+	if !validMetricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s redefined as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		buckets: normalizeBuckets(buckets), series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+// normalizeBuckets sorts, dedupes and strips a trailing +Inf (the
+// +Inf bucket is implicit).
+func normalizeBuckets(buckets []float64) []float64 {
+	out := append([]float64(nil), buckets...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if math.IsInf(b, +1) {
+			continue
+		}
+		if i > 0 && b == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	return dedup
+}
+
+// seriesFor fetches or creates the series for one label-value tuple.
+// Requires r.mu.
+func (f *family) seriesFor(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s: %d label values for %d labels", f.name, len(values), len(f.labels)))
+	}
+	key := renderLabels(f.labels, values)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelKey: key}
+		if f.typ == "histogram" {
+			s.counts = make([]uint64, len(f.buckets)+1) // +1 for +Inf
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// renderLabels renders `k="v",...` with label values escaped per the
+// exposition format (backslash, double quote, newline).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	r *Registry
+	s *series
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.r.mu.Lock()
+	c.s.value += v
+	c.r.mu.Unlock()
+}
+
+// Set overwrites the counter's value. It exists for gather-time
+// syncing from an external cumulative counter (e.g. simsvc.Stats
+// fields) and must only be called with monotone inputs.
+func (c *Counter) Set(v float64) {
+	c.r.mu.Lock()
+	c.s.value = v
+	c.r.mu.Unlock()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	r *Registry
+	s *series
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	g.r.mu.Lock()
+	g.s.value = v
+	g.r.mu.Unlock()
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	g.r.mu.Lock()
+	g.s.value += v
+	g.r.mu.Unlock()
+}
+
+// Histogram observes a distribution into cumulative buckets.
+type Histogram struct {
+	r       *Registry
+	s       *series
+	buckets []float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.r.mu.Lock()
+	idx := len(h.buckets) // +Inf slot
+	for i, ub := range h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.s.counts[idx]++
+	h.s.sum += v
+	h.s.count++
+	h.r.mu.Unlock()
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Counter{r: r, s: f.seriesFor(nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Gauge{r: r, s: f.seriesFor(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at every
+// exposition.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.seriesFor(nil).fn = fn
+}
+
+// Histogram registers an unlabeled histogram over the given buckets
+// (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, "histogram", buckets)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Histogram{r: r, s: f.seriesFor(nil), buckets: f.buckets}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct {
+	r *Registry
+	f *family
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r: r, f: r.register(name, help, "counter", nil, labels...)}
+}
+
+// With returns the counter for one label-value tuple (created on
+// first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Counter{r: v.r, s: v.f.seriesFor(values)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct {
+	r *Registry
+	f *family
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r: r, f: r.register(name, help, "gauge", nil, labels...)}
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Gauge{r: v.r, s: v.f.seriesFor(values)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	r *Registry
+	f *family
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets =
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r: r, f: r.register(name, help, "histogram", buckets, labels...)}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Histogram{r: v.r, s: v.f.seriesFor(values), buckets: v.f.buckets}
+}
+
+// WriteTo renders the registry in the text exposition format:
+// families sorted by name, series sorted by label key, so two
+// expositions of identical state are byte-identical.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	gathers := append([]func(){}, r.gathers...)
+	r.mu.Unlock()
+	// Gather callbacks update instruments through the public API, so
+	// they must run outside the registry lock.
+	for _, fn := range gathers {
+		fn()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		keys := append([]string{}, f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			switch f.typ {
+			case "histogram":
+				writeHistogram(&b, f, s)
+			default:
+				v := s.value
+				if s.fn != nil {
+					v = s.fn()
+				}
+				writeSample(&b, f.name, "", s.labelKey, v)
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets
+// (with the implicit +Inf), then _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	cum := uint64(0)
+	for i, ub := range f.buckets {
+		cum += s.counts[i]
+		writeSample(b, f.name+"_bucket", `le="`+formatFloat(ub)+`"`, s.labelKey, float64(cum))
+	}
+	cum += s.counts[len(f.buckets)]
+	writeSample(b, f.name+"_bucket", `le="+Inf"`, s.labelKey, float64(cum))
+	writeSample(b, f.name+"_sum", "", s.labelKey, s.sum)
+	writeSample(b, f.name+"_count", "", s.labelKey, float64(s.count))
+}
+
+// writeSample renders one sample line, merging an extra label pair
+// (the histogram "le") with the series labels.
+func writeSample(b *strings.Builder, name, extra, labels string, v float64) {
+	b.WriteString(name)
+	switch {
+	case labels != "" && extra != "":
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte(',')
+		b.WriteString(extra)
+		b.WriteByte('}')
+	case labels != "":
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	case extra != "":
+		b.WriteByte('{')
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: shortest round-trip form, with
+// the exposition spellings for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_, _ = r.WriteTo(w)
+	})
+}

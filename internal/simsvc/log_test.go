@@ -1,0 +1,110 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"eole"
+	"eole/internal/obs"
+)
+
+// syncBuffer serializes writes: the service logs from worker
+// goroutines concurrently with the submitting test goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestJobLifecycleLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s, err := New(Options{Parallelism: 1, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cfg, err := eole.NamedConfig("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Config: cfg, Workload: "gzip", Warmup: 500, Measure: 2000}
+	ctx := obs.WithRequestID(t.Context(), "trace-me-42")
+
+	j, err := s.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Second submission: must log a cache hit with the same request ID.
+	if _, err := s.Submit(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	var sawStart, sawDone, sawHit bool
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		switch ev["msg"] {
+		case "sim_start", "sim_done":
+			ids, _ := ev["request_ids"].([]any)
+			found := false
+			for _, id := range ids {
+				if id == "trace-me-42" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s missing request ID: %s", ev["msg"], line)
+			}
+			if ev["workload"] != "gzip" {
+				t.Errorf("%s wrong workload: %s", ev["msg"], line)
+			}
+			if ev["msg"] == "sim_start" {
+				sawStart = true
+			} else {
+				sawDone = true
+			}
+		case "job_cache_hit":
+			if ev["request_id"] != "trace-me-42" {
+				t.Errorf("cache hit missing request ID: %s", line)
+			}
+			sawHit = true
+		}
+	}
+	if !sawStart || !sawDone || !sawHit {
+		t.Errorf("missing lifecycle events (start=%v done=%v hit=%v):\n%s", sawStart, sawDone, sawHit, out)
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	s, err := New(Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("idle InFlight = %d", got)
+	}
+	s.Close()
+}

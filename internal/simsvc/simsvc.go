@@ -17,12 +17,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eole"
+	"eole/internal/obs"
 )
 
 // ErrClosed is returned by Submit and Wait after Close has begun.
@@ -100,6 +103,13 @@ type Options struct {
 	// default server run lengths stay under 512K µ-ops ≈ 45MB per
 	// workload).
 	TraceMaxOps uint64
+
+	// Logger receives job lifecycle events (nil = discard). Cache
+	// hits, coalesces and enqueues log at Debug; simulation start,
+	// completion, failure and abandonment at Info. Events carry the
+	// submit context's request ID (obs.RequestID) so one sweep is
+	// traceable through the service's logs.
+	Logger *slog.Logger
 }
 
 // Job is the handle for one submitted request. Wait blocks for the
@@ -200,6 +210,7 @@ type Service struct {
 	cache  *resultCache
 	traces *traceStore // nil when trace-driven simulation is disabled
 	m      metrics
+	log    *slog.Logger
 
 	ctx    context.Context // canceled on Close: workers abandon queued work
 	cancel context.CancelFunc
@@ -238,10 +249,14 @@ func New(opts Options) (*Service, error) {
 			return nil, fmt.Errorf("simsvc: trace dir: %w", err)
 		}
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		opts:     opts,
 		cache:    newResultCache(opts.CacheDir, opts.CacheEntries),
+		log:      opts.Logger,
 		ctx:      ctx,
 		cancel:   cancel,
 		queue:    make(chan *task, opts.QueueDepth),
@@ -283,6 +298,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 		s.m.cacheHits.Add(1)
 		s.m.completed.Add(1)
 		j.complete(r, nil, true)
+		s.log.Debug("job_cache_hit", "key", key.String(), "request_id", obs.RequestID(ctx))
 		return j, nil
 	}
 	if t, ok := s.inflight[key]; ok {
@@ -292,6 +308,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 		}
 		s.mu.Unlock()
 		s.m.coalesced.Add(1)
+		s.log.Debug("job_coalesced", "key", key.String(), "request_id", obs.RequestID(ctx))
 		return j, nil
 	}
 	t := &task{key: key, req: req, jobs: []*Job{j}}
@@ -311,12 +328,15 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 			s.m.completed.Add(1)
 			jb.complete(r, nil, true)
 		}
+		s.log.Debug("job_disk_hit", "key", key.String(), "request_id", obs.RequestID(ctx))
 		return j, nil
 	}
 	s.m.cacheMisses.Add(1)
 
 	select {
 	case s.queue <- t:
+		s.log.Debug("job_queued", "key", key.String(), "request_id", obs.RequestID(ctx),
+			"config", req.label(), "workload", req.Workload)
 		return j, nil
 	case <-ctx.Done():
 		// Fail only this job: other callers may have coalesced onto
@@ -439,6 +459,15 @@ func (s *Service) Stats() Stats { return s.m.snapshot(s.cache.len()) }
 // depth crosses its bound.
 func (s *Service) QueueLen() int { return len(s.queue) }
 
+// InFlight reports how many unique simulations are registered with the
+// service — queued or running — right now. Shutdown logging uses it to
+// report what a graceful stop is waiting on.
+func (s *Service) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
 // FreeToServe reports whether Submit would answer the request without
 // consuming a queue slot: its result is already in the in-memory
 // cache, or an identical simulation is queued/running and the job
@@ -558,10 +587,23 @@ func (s *Service) run(t *task) {
 	// are all gone (HTTP clients disconnected, sweep contexts expired)
 	// is abandoned at the core's next cancellation checkpoint instead
 	// of burning a worker to completion.
+	// Request IDs of the waiters, for the lifecycle log lines: one
+	// simulation can serve many coalesced requests.
+	ids := make([]string, 0, len(live))
+	for _, j := range live {
+		if id := obs.RequestID(j.ctx); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	s.log.Info("sim_start", "key", t.key.String(), "config", t.req.label(),
+		"workload", t.req.Workload, "waiters", len(live), "request_ids", ids)
+
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	stopWatch := make(chan struct{})
 	go s.watchWaiters(t, cancelRun, stopWatch)
+	start := time.Now()
 	r, err := s.simulate(runCtx, t.req)
+	elapsed := time.Since(start)
 	close(stopWatch)
 	// Read the abandonment verdict before releasing the context: after
 	// cancelRun, runCtx.Err() is non-nil for ordinary failures too.
@@ -570,15 +612,22 @@ func (s *Service) run(t *task) {
 	if err != nil {
 		if abandoned {
 			s.m.abandonedRuns.Add(1)
+			s.log.Info("sim_abandoned", "key", t.key.String(), "workload", t.req.Workload,
+				"duration_ms", elapsed.Milliseconds(), "request_ids", ids)
 			s.finishAbandoned(t)
 			return
 		}
+		s.log.Info("sim_failed", "key", t.key.String(), "workload", t.req.Workload,
+			"error", err.Error(), "request_ids", ids)
 		for _, j := range s.detach(t) {
 			s.m.failed.Add(1)
 			j.complete(nil, err, false)
 		}
 		return
 	}
+	s.log.Info("sim_done", "key", t.key.String(), "config", t.req.label(),
+		"workload", t.req.Workload, "duration_ms", elapsed.Milliseconds(),
+		"ipc", r.IPC, "request_ids", ids)
 	// Publish to the memory cache before detaching: a concurrent
 	// Submit holds s.mu while it checks the cache and then the
 	// inflight set, so it observes at least one of the two. The disk

@@ -69,6 +69,10 @@ type Table struct {
 type row struct {
 	name string
 	vals []float64
+	// cis holds the half-width of a confidence interval per value
+	// (nil when the row carries exact results). Sampled simulation
+	// reports an IPC ± CI pair; figures render the CI as whiskers.
+	cis []float64
 }
 
 // NewTable creates a table with the given value columns.
@@ -85,8 +89,28 @@ func (t *Table) AddRow(name string, vals ...float64) {
 	t.rows = append(t.rows, row{name: name, vals: vals})
 }
 
+// AddRowCI appends a benchmark row with per-value confidence-interval
+// half-widths (from sampled simulation); vals and cis must both match
+// Columns. A zero CI renders without a whisker.
+func (t *Table) AddRowCI(name string, vals, cis []float64) {
+	if len(vals) != len(t.Columns) || len(cis) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %s has %d values / %d CIs, table has %d columns",
+			name, len(vals), len(cis), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{name: name, vals: vals, cis: cis})
+}
+
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// RowNames returns the benchmark names in insertion order.
+func (t *Table) RowNames() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.name
+	}
+	return out
+}
 
 // Column returns the values of column i in row order.
 func (t *Table) Column(i int) []float64 {

@@ -1,0 +1,379 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SVG rendering of the paper's figures: grouped bar charts (IPC,
+// speedup) with optional confidence-interval whiskers and a dashed
+// reference line, and grid heatmaps for two-dimensional sweeps.
+//
+// Output is deterministic byte-for-byte: fixed palette, fixed float
+// formatting, insertion-ordered rows and columns, no timestamps — the
+// same sweep report always renders the identical document, so figures
+// are cacheable and golden-testable.
+//
+// Colors follow a validated categorical palette in fixed slot order
+// (identity is also carried by legend order and within-group
+// position). Three slots sit below 3:1 contrast on the light surface;
+// the mitigation is that every figure has a text table twin
+// (Table.Render) and per-bar <title> hover text.
+
+// Fixed categorical palette (light mode), assigned to series in slot
+// order, never re-ordered.
+var svgPalette = []string{
+	"#2a78d6", // blue
+	"#eb6834", // orange
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#e87ba4", // magenta
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+}
+
+// Sequential blue ramp, light→dark, for heatmap cells.
+var svgRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// Chart chrome (light mode).
+const (
+	svgSurface   = "#fcfcfb"
+	svgInk       = "#0b0b0b"
+	svgInk2      = "#52514e"
+	svgMuted     = "#898781"
+	svgGrid      = "#e1e0d9"
+	svgBaseline  = "#c3c2b7"
+	svgFontStack = `system-ui,-apple-system,'Segoe UI',sans-serif`
+)
+
+// fmtCoord renders an SVG coordinate with fixed precision so output
+// is byte-stable across platforms.
+func fmtCoord(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// fmtVal renders a data value the same way the text table does.
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// xmlEscape escapes text nodes and attribute values.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}
+
+// niceStep picks a 1/2/5×10^k tick step covering max in ~5 ticks.
+func niceStep(max float64) float64 {
+	if max <= 0 {
+		return 1
+	}
+	raw := max / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag <= 1:
+		return mag
+	case raw/mag <= 2:
+		return 2 * mag
+	case raw/mag <= 5:
+		return 5 * mag
+	}
+	return 10 * mag
+}
+
+// svgRow is one rendered bar group.
+type svgRow struct {
+	name string
+	vals []float64
+	cis  []float64 // nil = no whiskers
+}
+
+// RenderSVG draws the table as a grouped vertical bar chart: one
+// group per row (benchmark), one bar per column (configuration).
+// Rows added with AddRowCI get confidence-interval whiskers. A
+// reference line at ref (e.g. 1.0 for speedup figures) is drawn
+// dashed when ref > 0. When WithGeomean is set a summary group is
+// appended, mirroring Render.
+func (t *Table) RenderSVG(ref float64) ([]byte, error) {
+	if len(t.rows) == 0 {
+		return nil, fmt.Errorf("stats: table %q has no rows", t.Title)
+	}
+	rows := make([]svgRow, 0, len(t.rows)+1)
+	for _, r := range t.rows {
+		rows = append(rows, svgRow{name: r.name, vals: r.vals, cis: r.cis})
+	}
+	if t.WithGeomean {
+		gm := make([]float64, len(t.Columns))
+		for i := range t.Columns {
+			gm[i] = Geomean(t.Column(i))
+		}
+		rows = append(rows, svgRow{name: "geomean", vals: gm})
+	}
+
+	// Vertical scale covers every bar top (plus whisker) and the
+	// reference line, with 5% headroom.
+	maxV := ref
+	for _, r := range rows {
+		for i, v := range r.vals {
+			top := v
+			if r.cis != nil {
+				top += r.cis[i]
+			}
+			if top > maxV {
+				maxV = top
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	step := niceStep(maxV)
+	yMax := step * math.Ceil(maxV*1.05/step)
+
+	// Layout. Bars are thin (12px) with 2px gaps inside a group.
+	const (
+		barW     = 12.0
+		barGap   = 2.0
+		groupGap = 18.0
+		padL     = 52.0
+		padT     = 40.0
+		plotH    = 220.0
+	)
+	nSeries := len(t.Columns)
+	groupW := float64(nSeries)*barW + float64(nSeries-1)*barGap
+	plotW := float64(len(rows))*(groupW+groupGap) + groupGap
+	legendH := 0.0
+	if nSeries >= 2 {
+		legendH = 22
+	}
+	padB := 58.0 + legendH
+	padR := 16.0
+	if ref > 0 {
+		padR = 46 // room for the "ref N" label right of the plot
+	}
+	width := padL + plotW + padR
+	// The title (14px) and the legend row must not overflow the
+	// document; widen to fit the longest of the three.
+	if w := padL + 8.5*float64(len(t.Title)) + 8; w > width {
+		width = w
+	}
+	legendW := 0.0
+	for _, c := range t.Columns {
+		legendW += 14 + 7*float64(len(c)) + 16
+	}
+	if nSeries >= 2 && padL+legendW > width {
+		width = padL + legendW
+	}
+	height := padT + plotH + padB
+	y := func(v float64) float64 { return padT + plotH - v/yMax*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" font-family="%s">`,
+		fmtCoord(width), fmtCoord(height), fmtCoord(width), fmtCoord(height), svgFontStack)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect width="%s" height="%s" fill="%s"/>`, fmtCoord(width), fmtCoord(height), svgSurface)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%s" y="22" font-size="14" font-weight="600" fill="%s">%s</text>`,
+		fmtCoord(padL), svgInk, xmlEscape(t.Title))
+	b.WriteByte('\n')
+
+	// Recessive gridlines and tick labels.
+	for v := 0.0; v <= yMax+step/2; v += step {
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`,
+			fmtCoord(padL), fmtCoord(yy), fmtCoord(padL+plotW), fmtCoord(yy), svgGrid)
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			fmtCoord(padL-6), fmtCoord(yy+3.5), svgMuted, trimZeros(v))
+		b.WriteByte('\n')
+	}
+
+	// Bars, whiskers, group labels.
+	for gi, r := range rows {
+		gx := padL + groupGap + float64(gi)*(groupW+groupGap)
+		for si, v := range r.vals {
+			x := gx + float64(si)*(barW+barGap)
+			color := svgPalette[si%len(svgPalette)]
+			top, base := y(v), y(0)
+			h := base - top
+			if h < 0 {
+				h = 0
+			}
+			rx := 2.0 // rounded data-end (top only: path arcs at the top corners)
+			if h < rx {
+				rx = h
+			}
+			fmt.Fprintf(&b, `<path d="M%s %sL%s %sQ%s %s %s %sL%s %sQ%s %s %s %sL%s %sZ" fill="%s">`,
+				fmtCoord(x), fmtCoord(base),
+				fmtCoord(x), fmtCoord(top+rx),
+				fmtCoord(x), fmtCoord(top), fmtCoord(x+rx), fmtCoord(top),
+				fmtCoord(x+barW-rx), fmtCoord(top),
+				fmtCoord(x+barW), fmtCoord(top), fmtCoord(x+barW), fmtCoord(top+rx),
+				fmtCoord(x+barW), fmtCoord(base), color)
+			ci := 0.0
+			if r.cis != nil {
+				ci = r.cis[si]
+			}
+			title := fmt.Sprintf("%s / %s: %s", r.name, t.Columns[si], fmtVal(v))
+			if ci > 0 {
+				title += " ±" + fmtVal(ci)
+			}
+			fmt.Fprintf(&b, `<title>%s</title></path>`, xmlEscape(title))
+			b.WriteByte('\n')
+			if ci > 0 {
+				cx := x + barW/2
+				lo, hi := y(v-ci), y(v+ci)
+				fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`,
+					fmtCoord(cx), fmtCoord(lo), fmtCoord(cx), fmtCoord(hi), svgInk2)
+				b.WriteByte('\n')
+				for _, wy := range []float64{lo, hi} {
+					fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`,
+						fmtCoord(cx-3), fmtCoord(wy), fmtCoord(cx+3), fmtCoord(wy), svgInk2)
+					b.WriteByte('\n')
+				}
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s" text-anchor="end" transform="rotate(-40 %s %s)">%s</text>`,
+			fmtCoord(gx+groupW/2), fmtCoord(padT+plotH+14), svgInk2,
+			fmtCoord(gx+groupW/2), fmtCoord(padT+plotH+14), xmlEscape(r.name))
+		b.WriteByte('\n')
+	}
+
+	// Baseline axis on top of the bars' feet.
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`,
+		fmtCoord(padL), fmtCoord(y(0)), fmtCoord(padL+plotW), fmtCoord(y(0)), svgBaseline)
+	b.WriteByte('\n')
+
+	// Dashed reference line (e.g. baseline speedup 1.0).
+	if ref > 0 {
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1" stroke-dasharray="4 3"/>`,
+			fmtCoord(padL), fmtCoord(y(ref)), fmtCoord(padL+plotW), fmtCoord(y(ref)), svgInk2)
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="9" fill="%s">ref %s</text>`,
+			fmtCoord(padL+plotW+2), fmtCoord(y(ref)+3), svgMuted, trimZeros(ref))
+		b.WriteByte('\n')
+	}
+
+	// Legend: always present for ≥2 series, never for one (the title
+	// names a single series).
+	if nSeries >= 2 {
+		lx := padL
+		ly := height - 12
+		for si, c := range t.Columns {
+			color := svgPalette[si%len(svgPalette)]
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="10" height="10" rx="2" fill="%s"/>`,
+				fmtCoord(lx), fmtCoord(ly-9), color)
+			b.WriteByte('\n')
+			fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s">%s</text>`,
+				fmtCoord(lx+14), fmtCoord(ly), svgInk2, xmlEscape(c))
+			b.WriteByte('\n')
+			lx += 14 + 7*float64(len(c)) + 16
+		}
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="34" font-size="10" fill="%s">%s</text>`,
+			fmtCoord(padL), svgMuted, xmlEscape(t.Note))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// trimZeros renders a tick/reference value without trailing zeros.
+func trimZeros(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// RenderSVGHeatmap draws the table as a grid heatmap — rows on the
+// vertical axis, columns on the horizontal — with cell color from the
+// sequential blue ramp scaled to the table's min..max and the value
+// printed in each cell.
+func (t *Table) RenderSVGHeatmap() ([]byte, error) {
+	if len(t.rows) == 0 {
+		return nil, fmt.Errorf("stats: table %q has no rows", t.Title)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, r := range t.rows {
+		for _, v := range r.vals {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+
+	const (
+		cellW = 62.0
+		cellH = 26.0
+		gap   = 2.0
+		padT  = 64.0
+		padR  = 16.0
+		padB  = 16.0
+	)
+	padL := 16.0
+	for _, r := range t.rows {
+		if w := 16 + 7*float64(len(r.name)); w > padL {
+			padL = w
+		}
+	}
+	width := padL + float64(len(t.Columns))*(cellW+gap) + padR
+	height := padT + float64(len(t.rows))*(cellH+gap) + padB
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" font-family="%s">`,
+		fmtCoord(width), fmtCoord(height), fmtCoord(width), fmtCoord(height), svgFontStack)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect width="%s" height="%s" fill="%s"/>`, fmtCoord(width), fmtCoord(height), svgSurface)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="16" y="22" font-size="14" font-weight="600" fill="%s">%s</text>`,
+		svgInk, xmlEscape(t.Title))
+	b.WriteByte('\n')
+	for ci, c := range t.Columns {
+		x := padL + float64(ci)*(cellW+gap) + cellW/2
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			fmtCoord(x), fmtCoord(padT-8), svgInk2, xmlEscape(c))
+		b.WriteByte('\n')
+	}
+	for ri, r := range t.rows {
+		yy := padT + float64(ri)*(cellH+gap)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			fmtCoord(padL-6), fmtCoord(yy+cellH/2+3.5), svgInk2, xmlEscape(r.name))
+		b.WriteByte('\n')
+		for ci, v := range r.vals {
+			x := padL + float64(ci)*(cellW+gap)
+			tt := 0.5
+			if maxV > minV {
+				tt = (v - minV) / (maxV - minV)
+			}
+			fill := svgRamp[rampIndex(tt)]
+			ink := svgInk
+			if tt > 0.55 {
+				ink = "#ffffff"
+			}
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" rx="2" fill="%s"><title>%s</title></rect>`,
+				fmtCoord(x), fmtCoord(yy), fmtCoord(cellW), fmtCoord(cellH), fill,
+				xmlEscape(fmt.Sprintf("%s / %s: %s", r.name, t.Columns[ci], fmtVal(v))))
+			b.WriteByte('\n')
+			fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+				fmtCoord(x+cellW/2), fmtCoord(yy+cellH/2+3.5), ink, fmtVal(v))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// rampIndex maps t∈[0,1] to a ramp stop.
+func rampIndex(t float64) int {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	i := int(t * float64(len(svgRamp)-1))
+	if i >= len(svgRamp) {
+		i = len(svgRamp) - 1
+	}
+	return i
+}
