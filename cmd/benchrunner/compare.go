@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// cmdCompare diffs two BENCH files. The gate is the headline metric:
+// a detailed-mode cycles/sec (or hot-loop µops/sec) drop beyond the
+// threshold fails the comparison. Everything else — sweep and sampled
+// wall-clock, heap traffic — is reported informationally: wall-clock
+// sections time different machines' load conditions too noisily to
+// gate on, and allocation budgets are already pinned by tests.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.20, "max tolerated fractional cycles/sec regression (0.20 = 20%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: want OLD.json NEW.json")
+	}
+	oldB, err := readBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newB, err := readBench(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if oldB.Schema != newB.Schema {
+		return fmt.Errorf("schema mismatch: %q vs %q", oldB.Schema, newB.Schema)
+	}
+	if oldB.Smoke != newB.Smoke {
+		fmt.Fprintf(os.Stderr, "benchrunner: note: comparing smoke=%v against smoke=%v; only overlapping cells are diffed\n",
+			oldB.Smoke, newB.Smoke)
+	}
+
+	regressions := 0
+	delta := func(oldV, newV float64) float64 { return newV/oldV - 1 }
+	arrow := func(d float64) string {
+		switch {
+		case d < -*threshold:
+			return "REGRESSION"
+		case d < 0:
+			return "-"
+		default:
+			return "+"
+		}
+	}
+
+	oldCells := map[string]DetailedCell{}
+	for _, c := range oldB.Detailed {
+		oldCells[c.Config+"/"+c.Workload] = c
+	}
+	matched := 0
+	fmt.Printf("%-24s %-8s %14s %14s %8s\n", "config", "workload", "old cyc/s", "new cyc/s", "delta")
+	for _, n := range newB.Detailed {
+		id := n.Config + "/" + n.Workload
+		o, ok := oldCells[id]
+		if !ok {
+			fmt.Printf("%-24s %-8s %14s %14.0f %8s\n", n.Config, n.Workload, "(new cell)", n.CyclesPerSec, "")
+			continue
+		}
+		matched++
+		d := delta(o.CyclesPerSec, n.CyclesPerSec)
+		mark := arrow(d)
+		if mark == "REGRESSION" {
+			regressions++
+		}
+		fmt.Printf("%-24s %-8s %14.0f %14.0f %+7.1f%% %s\n",
+			n.Config, n.Workload, o.CyclesPerSec, n.CyclesPerSec, 100*d, mark)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no overlapping detailed cells between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+
+	d := delta(oldB.HotLoop.UopsPerSec, newB.HotLoop.UopsPerSec)
+	mark := arrow(d)
+	if oldB.HotLoop.Config == newB.HotLoop.Config && oldB.HotLoop.Workload == newB.HotLoop.Workload {
+		if mark == "REGRESSION" {
+			regressions++
+		}
+		fmt.Printf("\nhot loop (%s/%s): %.0f -> %.0f µops/s (%+.1f%%) %s\n",
+			newB.HotLoop.Config, newB.HotLoop.Workload,
+			oldB.HotLoop.UopsPerSec, newB.HotLoop.UopsPerSec, 100*d, mark)
+		fmt.Printf("  heap: %.1f -> %.1f B/kµop, %.2f -> %.2f allocs/kµop\n",
+			oldB.HotLoop.BytesPerKuop, newB.HotLoop.BytesPerKuop,
+			oldB.HotLoop.AllocsPerKuop, newB.HotLoop.AllocsPerKuop)
+	}
+
+	fmt.Printf("\nsweep cold: %.2fs -> %.2fs (%+.1f%%)   warm: %.2fs -> %.2fs (%+.1f%%)\n",
+		oldB.Sweep.ColdSeconds, newB.Sweep.ColdSeconds, 100*delta(oldB.Sweep.ColdSeconds, newB.Sweep.ColdSeconds),
+		oldB.Sweep.WarmSeconds, newB.Sweep.WarmSeconds, 100*delta(oldB.Sweep.WarmSeconds, newB.Sweep.WarmSeconds))
+	fmt.Printf("sampled sweep: %.2fs -> %.2fs (%+.1f%%)\n",
+		oldB.Sampled.WallSeconds, newB.Sampled.WallSeconds, 100*delta(oldB.Sampled.WallSeconds, newB.Sampled.WallSeconds))
+
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressions, 100**threshold)
+	}
+	fmt.Printf("\nOK: no cycles/sec regression beyond %.0f%% across %d cells\n", 100**threshold, matched)
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command benchrunner is the repo's reproducible performance harness.
+// It runs a pinned benchmark matrix — detailed-mode simulation speed
+// per named config on four reference workloads, a 6-config sweep
+// wall-clock with cold and warm trace cache, the sampled long-dram
+// sweep wall-clock, and the hot loop's heap traffic — and writes a
+// schema-versioned BENCH file. The committed BENCH_<pr>.json files at
+// the repo root form the project's performance trajectory: every
+// claimed speedup is reproducible by re-running the harness and
+// diffing with the compare subcommand.
+//
+// Usage:
+//
+//	benchrunner run [-out BENCH_7.json] [-smoke]
+//	benchrunner compare OLD.json NEW.json [-threshold 0.20]
+//	benchrunner validate FILE.json
+//
+// compare exits nonzero when any detailed-mode cycles/sec metric in
+// NEW regresses by more than the threshold relative to OLD (default
+// 20%). validate exits nonzero when FILE does not conform to the
+// schema (CI runs it against the committed file and against a freshly
+// generated smoke file).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  benchrunner run [-out BENCH_7.json] [-smoke]
+      run the pinned benchmark matrix and write the BENCH file
+      (-smoke shrinks the matrix for CI: fewer cells, shorter runs)
+  benchrunner compare OLD.json NEW.json [-threshold 0.20]
+      diff two BENCH files; exit 1 on a cycles/sec regression beyond
+      the threshold
+  benchrunner validate FILE.json
+      check a BENCH file against the schema; exit 1 on violations
+`)
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eole"
+)
+
+// The pinned matrix. Full mode covers every named config on four
+// reference workloads spanning the behaviour space: gzip (ILP-bound,
+// predictable), mcf (DRAM-bound, pointer-chasing), namd (FP), hmmer
+// (branchy integer). Smoke mode keeps one workload pair and the three
+// headline configs so CI finishes in seconds.
+var (
+	fullWorkloads  = []string{"gzip", "mcf", "namd", "hmmer"}
+	smokeWorkloads = []string{"gzip", "mcf"}
+	smokeConfigs   = []string{"Baseline_6_64", "EOLE_4_64", "EOLE_4_64_4ports_4banks"}
+
+	// sweepConfigs is the 6-config IPC comparison a figure sweep runs
+	// per workload (baseline, VP baseline, the EOLE family, and the
+	// practical banked design).
+	sweepConfigs = []string{
+		"Baseline_6_64", "Baseline_VP_6_64", "EOLE_6_64",
+		"EOLE_4_64", "EOE_4_64", "EOLE_4_64_4ports_4banks",
+	}
+
+	// sampledConfigs matches BenchmarkSampledSweep at the repo root.
+	sampledConfigs = []string{"Baseline_VP_6_64", "EOLE_4_64", "EOLE_6_64"}
+)
+
+type matrix struct {
+	configs   []string
+	workloads []string
+	warmup    uint64
+	measure   uint64
+
+	sweepWarmup  uint64
+	sweepMeasure uint64
+
+	sampled eole.SamplingSpec
+	// sampledWarmup/sampledMeasure mirror the Simulate arguments of
+	// the sampled sweep (measure = total detailed budget).
+	sampledWarmup  uint64
+	sampledMeasure uint64
+
+	hotLoopUops uint64
+}
+
+func fullMatrix() matrix {
+	return matrix{
+		configs:        eole.ConfigNames(),
+		workloads:      fullWorkloads,
+		warmup:         20_000,
+		measure:        200_000,
+		sweepWarmup:    20_000,
+		sweepMeasure:   100_000,
+		sampled:        eole.SamplingSpec{Windows: 8, Skip: 250_000, Warm: 30_000},
+		sampledWarmup:  50_000,
+		sampledMeasure: 160_000,
+		hotLoopUops:    1_000_000,
+	}
+}
+
+func smokeMatrix() matrix {
+	return matrix{
+		configs:        smokeConfigs,
+		workloads:      smokeWorkloads,
+		warmup:         5_000,
+		measure:        20_000,
+		sweepWarmup:    5_000,
+		sweepMeasure:   10_000,
+		sampled:        eole.SamplingSpec{Windows: 4, Skip: 30_000, Warm: 5_000},
+		sampledWarmup:  10_000,
+		sampledMeasure: 20_000,
+		hotLoopUops:    100_000,
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "BENCH_7.json", "output BENCH file")
+	smoke := fs.Bool("smoke", false, "reduced CI matrix (fewer cells, shorter runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := fullMatrix()
+	if *smoke {
+		m = smokeMatrix()
+	}
+
+	b := &Bench{
+		Schema:    SchemaVersion,
+		Smoke:     *smoke,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	var err error
+	if b.Detailed, err = runDetailed(m); err != nil {
+		return err
+	}
+	if b.Sweep, err = runSweep(m); err != nil {
+		return err
+	}
+	if b.Sampled, err = runSampled(m); err != nil {
+		return err
+	}
+	if b.HotLoop, err = runHotLoop(m); err != nil {
+		return err
+	}
+
+	if errs := b.validate(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchrunner: self-check: %s\n", e)
+		}
+		return fmt.Errorf("generated BENCH file fails its own schema (%d violations)", len(errs))
+	}
+	if err := writeBench(*out, b); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d detailed cells, smoke=%v)\n", *out, len(b.Detailed), *smoke)
+	return nil
+}
+
+func runDetailed(m matrix) ([]DetailedCell, error) {
+	cells := make([]DetailedCell, 0, len(m.configs)*len(m.workloads))
+	for _, cfgName := range m.configs {
+		cfg, err := eole.NamedConfig(cfgName)
+		if err != nil {
+			return nil, err
+		}
+		for _, wlName := range m.workloads {
+			w, err := eole.WorkloadByName(wlName)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := eole.NewSimulator(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			sim.Run(m.warmup)
+			start := time.Now()
+			r := sim.Measure(m.measure)
+			wall := time.Since(start).Seconds()
+			cells = append(cells, DetailedCell{
+				Config:       cfgName,
+				Workload:     wlName,
+				Warmup:       m.warmup,
+				Measure:      m.measure,
+				Cycles:       r.Cycles,
+				Committed:    r.Committed,
+				WallSeconds:  wall,
+				CyclesPerSec: float64(r.Cycles) / wall,
+				UopsPerSec:   float64(r.Committed) / wall,
+			})
+			fmt.Fprintf(os.Stderr, "  detailed %-24s %-6s %8.0f kcycles/s %8.0f kµops/s\n",
+				cfgName, wlName, float64(r.Cycles)/wall/1e3, float64(r.Committed)/wall/1e3)
+		}
+	}
+	return cells, nil
+}
+
+func runSweep(m matrix) (SweepResult, error) {
+	const wlName = "crafty"
+	w, err := eole.WorkloadByName(wlName)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res := SweepResult{
+		Configs:  sweepConfigs,
+		Workload: wlName,
+		Warmup:   m.sweepWarmup,
+		Measure:  m.sweepMeasure,
+	}
+
+	// Cold: execute-driven, each config re-interprets the program.
+	start := time.Now()
+	for _, name := range sweepConfigs {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if _, err := eole.Simulate(cfg, w, m.sweepWarmup, m.sweepMeasure); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	res.ColdSeconds = time.Since(start).Seconds()
+
+	// Warm: the stream recorded once, every config replaying the
+	// shared trace (what a sweep worker's trace cache converges to).
+	// Recording is inside the timed region: the first sweep request
+	// pays for it too.
+	start = time.Now()
+	tr := eole.RecordTrace(w, m.sweepWarmup+m.sweepMeasure+eole.TraceSlack)
+	for _, name := range sweepConfigs {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if _, err := eole.Simulate(cfg, w, m.sweepWarmup, m.sweepMeasure, eole.WithReplay(tr)); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	res.WarmSeconds = time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "  sweep    %d configs on %s: cold %.2fs, warm %.2fs\n",
+		len(sweepConfigs), wlName, res.ColdSeconds, res.WarmSeconds)
+	return res, nil
+}
+
+func runSampled(m matrix) (SampledResult, error) {
+	const wlName = "long-dram"
+	w, err := eole.WorkloadByName(wlName)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	plan, err := m.sampled.Plan(m.sampledMeasure)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	res := SampledResult{
+		Configs:  sampledConfigs,
+		Workload: wlName,
+		Windows:  m.sampled.Windows,
+		Skip:     m.sampled.Skip,
+		Warm:     m.sampled.Warm,
+		Measure:  m.sampledMeasure,
+	}
+	start := time.Now()
+	for _, name := range sampledConfigs {
+		cfg, err := eole.NamedConfig(name)
+		if err != nil {
+			return SampledResult{}, err
+		}
+		if _, err := eole.Simulate(cfg, w, m.sampledWarmup, m.sampledMeasure, eole.WithSampling(m.sampled)); err != nil {
+			return SampledResult{}, err
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	covered := float64(plan.Total()+m.sampledWarmup) * float64(len(sampledConfigs))
+	res.UopsCoveredPerSec = covered / res.WallSeconds
+	fmt.Fprintf(os.Stderr, "  sampled  %d configs on %s: %.2fs, %.1f Mµops covered/s\n",
+		len(sampledConfigs), wlName, res.WallSeconds, res.UopsCoveredPerSec/1e6)
+	return res, nil
+}
+
+// runHotLoop measures the detailed cycle loop's heap traffic and
+// throughput in steady state: warm first (all one-time growth done),
+// then a single long Run bracketed by MemStats reads.
+func runHotLoop(m matrix) (HotLoopResult, error) {
+	const cfgName, wlName = "EOLE_4_64", "gzip"
+	cfg, err := eole.NamedConfig(cfgName)
+	if err != nil {
+		return HotLoopResult{}, err
+	}
+	w, err := eole.WorkloadByName(wlName)
+	if err != nil {
+		return HotLoopResult{}, err
+	}
+	sim, err := eole.NewSimulator(cfg, w)
+	if err != nil {
+		return HotLoopResult{}, err
+	}
+	sim.Run(50_000)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sim.Run(m.hotLoopUops)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	kuops := float64(m.hotLoopUops) / 1e3
+	res := HotLoopResult{
+		Config:        cfgName,
+		Workload:      wlName,
+		Uops:          m.hotLoopUops,
+		UopsPerSec:    float64(m.hotLoopUops) / wall,
+		BytesPerKuop:  float64(after.TotalAlloc-before.TotalAlloc) / kuops,
+		AllocsPerKuop: float64(after.Mallocs-before.Mallocs) / kuops,
+	}
+	fmt.Fprintf(os.Stderr, "  hot loop %s/%s: %.0f kµops/s, %.1f B/kµop, %.2f allocs/kµop\n",
+		cfgName, wlName, res.UopsPerSec/1e3, res.BytesPerKuop, res.AllocsPerKuop)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion identifies the BENCH file layout. Bump it when a field
+// changes meaning; the comparator refuses to diff files with different
+// schemas.
+const SchemaVersion = "eole-bench/v1"
+
+// Bench is the root of a BENCH_*.json file.
+type Bench struct {
+	Schema string `json:"schema"`
+	// Smoke marks a reduced CI matrix: shorter runs, fewer cells.
+	// Wall-clock numbers from a smoke file are not comparable to a
+	// full run's, but per-cell throughput still catches gross
+	// regressions.
+	Smoke     bool   `json:"smoke,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Detailed []DetailedCell `json:"detailed"`
+	Sweep    SweepResult    `json:"sweep"`
+	Sampled  SampledResult  `json:"sampled"`
+	HotLoop  HotLoopResult  `json:"hot_loop"`
+}
+
+// DetailedCell is one (config, workload) detailed-mode run. CyclesPerSec
+// is the headline metric: simulated cycles per wall-clock second.
+type DetailedCell struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Warmup   uint64 `json:"warmup"`
+	Measure  uint64 `json:"measure"`
+
+	Cycles       uint64  `json:"cycles"`
+	Committed    uint64  `json:"committed"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	UopsPerSec   float64 `json:"uops_per_sec"`
+}
+
+// SweepResult times one multi-config sweep over a single workload,
+// execute-driven ("cold": each simulation re-interprets the program)
+// and trace-driven ("warm": the stream is recorded once and replayed
+// from the shared in-memory trace, the state a sweep worker's cache
+// reaches after the first request).
+type SweepResult struct {
+	Configs  []string `json:"configs"`
+	Workload string   `json:"workload"`
+	Warmup   uint64   `json:"warmup"`
+	Measure  uint64   `json:"measure"`
+
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+}
+
+// SampledResult times the sampled long-dram sweep (the wall-clock case
+// for SMARTS-style sampling): per config, most of the stream is
+// fast-forwarded and only the measurement windows run in detail.
+// UopsCoveredPerSec counts every stream µ-op covered (skipped, warmed
+// or measured) across all configs.
+type SampledResult struct {
+	Configs  []string `json:"configs"`
+	Workload string   `json:"workload"`
+	Windows  int      `json:"windows"`
+	Skip     uint64   `json:"skip"`
+	Warm     uint64   `json:"warm"`
+	Measure  uint64   `json:"measure"`
+
+	WallSeconds       float64 `json:"wall_seconds"`
+	UopsCoveredPerSec float64 `json:"uops_covered_per_sec"`
+}
+
+// HotLoopResult measures the detailed cycle loop's steady-state heap
+// traffic directly (runtime.MemStats deltas around a long Run), the
+// same quantity the allocation-budget tests pin.
+type HotLoopResult struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Uops     uint64 `json:"uops"`
+
+	UopsPerSec    float64 `json:"uops_per_sec"`
+	BytesPerKuop  float64 `json:"bytes_per_kuop"`
+	AllocsPerKuop float64 `json:"allocs_per_kuop"`
+}
+
+func readBench(path string) (*Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func writeBench(path string, b *Bench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// validate checks the structural invariants the comparator and CI rely
+// on. It returns every violation rather than stopping at the first.
+func (b *Bench) validate() []string {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	if b.Schema != SchemaVersion {
+		bad("schema %q, want %q", b.Schema, SchemaVersion)
+	}
+	if b.GoVersion == "" {
+		bad("go_version missing")
+	}
+	if len(b.Detailed) == 0 {
+		bad("detailed matrix is empty")
+	}
+	seen := map[string]bool{}
+	for i, c := range b.Detailed {
+		id := c.Config + "/" + c.Workload
+		switch {
+		case c.Config == "" || c.Workload == "":
+			bad("detailed[%d]: empty config or workload", i)
+		case seen[id]:
+			bad("detailed[%d]: duplicate cell %s", i, id)
+		}
+		seen[id] = true
+		if c.CyclesPerSec <= 0 || c.UopsPerSec <= 0 || c.WallSeconds <= 0 {
+			bad("detailed[%d] %s: non-positive throughput", i, id)
+		}
+		if c.Cycles == 0 || c.Committed == 0 {
+			bad("detailed[%d] %s: zero cycles or committed", i, id)
+		}
+	}
+	if len(b.Sweep.Configs) == 0 || b.Sweep.ColdSeconds <= 0 || b.Sweep.WarmSeconds <= 0 {
+		bad("sweep section incomplete")
+	}
+	if len(b.Sampled.Configs) == 0 || b.Sampled.WallSeconds <= 0 || b.Sampled.UopsCoveredPerSec <= 0 {
+		bad("sampled section incomplete")
+	}
+	if b.HotLoop.Uops == 0 || b.HotLoop.UopsPerSec <= 0 {
+		bad("hot_loop section incomplete")
+	}
+	if b.HotLoop.BytesPerKuop < 0 || b.HotLoop.AllocsPerKuop < 0 {
+		bad("hot_loop: negative heap traffic")
+	}
+	return errs
+}
+
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("validate: want exactly one FILE.json argument")
+	}
+	b, err := readBench(args[0])
+	if err != nil {
+		return err
+	}
+	if errs := b.validate(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchrunner: validate %s: %s\n", args[0], e)
+		}
+		return fmt.Errorf("%s: %d schema violation(s)", args[0], len(errs))
+	}
+	fmt.Printf("%s: valid (%s, %d detailed cells)\n", args[0], b.Schema, len(b.Detailed))
+	return nil
+}

@@ -96,6 +96,88 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// Cross-config differential equivalence suite: every named
+// configuration × every built-in workload, pinned as one golden file
+// per config holding the full JSON eole.Report of each workload. The
+// matrix is the bit-exactness wall in front of performance work on the
+// simulator core: any data-layout refactor, batching change or
+// allocation fix in internal/{core,prog,trace,regfile,bpred,vpred}
+// must leave all of these reports byte-identical, or this test names
+// the config, workload and field that moved.
+//
+// The region is shorter than TestGoldenReports' (the matrix is 11×19
+// simulations) but long enough to exercise squashes, both EOLE blocks,
+// banked-PRF stalls and the memory hierarchy on every workload.
+//
+// To regenerate after an intentional model change:
+//
+//	EOLE_UPDATE_GOLDEN=1 go test -run TestGoldenMatrix .
+const (
+	matrixWarmup  = 2_000
+	matrixMeasure = 5_000
+)
+
+func matrixGoldenPath(cfgName string) string {
+	return filepath.Join("testdata", "golden_matrix_"+cfgName+".json")
+}
+
+func TestGoldenMatrix(t *testing.T) {
+	for _, cfgName := range eole.ConfigNames() {
+		t.Run(cfgName, func(t *testing.T) {
+			cfg, err := eole.NamedConfig(cfgName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One JSON object per config: workload short name -> Report,
+			// marshalled with sorted keys so regeneration is stable.
+			reports := map[string]*eole.Report{}
+			for _, w := range eole.Workloads() {
+				r, err := eole.Simulate(cfg, w, matrixWarmup, matrixMeasure)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", cfgName, w.Short, err)
+				}
+				reports[w.Short] = r
+			}
+			got, err := json.MarshalIndent(reports, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := matrixGoldenPath(cfgName)
+			if os.Getenv("EOLE_UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with EOLE_UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if string(got) == string(want) {
+				return
+			}
+			var gm, wm map[string]any
+			if err := json.Unmarshal(got, &gm); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(want, &wm); err != nil {
+				t.Fatalf("golden file %s is not valid JSON: %v", path, err)
+			}
+			for _, d := range diffJSON("", wm, gm) {
+				t.Error(d)
+			}
+			t.Errorf("%s matrix drifted from %s — if the model change is intentional, regenerate with EOLE_UPDATE_GOLDEN=1",
+				cfgName, path)
+		})
+	}
+}
+
 // diffJSON renders the leaf-level differences between two decoded
 // JSON trees as "path: golden <x>, got <y>" lines.
 func diffJSON(prefix string, want, got map[string]any) []string {

@@ -60,14 +60,23 @@ func NewFoldedHistory(origLen, compLen int) *FoldedHistory {
 	}
 }
 
-// Value returns the current folded hash.
-func (f *FoldedHistory) Value() uint32 { return f.value & ((1 << f.compLen) - 1) }
+// Value returns the current folded hash. value is kept masked to
+// compLen bits by UpdateBits (and starts at zero), so this is a plain
+// load on the TAGE/VTAGE lookup paths.
+func (f *FoldedHistory) Value() uint32 { return f.value }
 
 // Update shifts in the newest history bit; h must already contain it
 // (call after GlobalHistory.Push).
 func (f *FoldedHistory) Update(h *GlobalHistory) {
-	in := uint32(h.Bit(0))
-	out := uint32(h.Bit(f.origLen)) // bit falling out of the window
+	f.UpdateBits(uint32(h.Bit(0)), uint32(h.Bit(f.origLen)))
+}
+
+// UpdateBits is Update with the in/out bits already read from the
+// history: in is the newest bit, out the bit falling out of the
+// origLen window. Callers that keep several folds over the same window
+// (TAGE's index and tag folds share a component's history length) read
+// the two bits once and fan them out.
+func (f *FoldedHistory) UpdateBits(in, out uint32) {
 	f.value = (f.value << 1) | in
 	f.value ^= out << f.outPos
 	f.value ^= f.value >> f.compLen

@@ -89,6 +89,16 @@ type TagePrediction struct {
 	newAlloc   bool
 }
 
+// componentFolds keeps a tagged component's three folded-history
+// registers adjacent in memory: every prediction and history push
+// touches all three together, so one flat slice of these is a cache
+// line per component instead of three scattered heap objects.
+type componentFolds struct {
+	idx FoldedHistory
+	tag FoldedHistory
+	tg2 FoldedHistory
+}
+
 // TAGE is the conditional branch direction predictor.
 type TAGE struct {
 	cfg      TageConfig
@@ -97,9 +107,7 @@ type TAGE struct {
 	rand     uint64  // deterministic PRNG for probabilistic updates
 	comp     [][]tageEntry
 	hist     *GlobalHistory
-	fIdx     []*FoldedHistory // per-component index folds
-	fTag     []*FoldedHistory // per-component tag folds (primary)
-	fTg2     []*FoldedHistory // per-component tag folds (secondary)
+	folds    []componentFolds // per-component index/tag folds
 	lens     []int
 
 	useAltOnNA int
@@ -120,11 +128,14 @@ func NewTAGE(cfg TageConfig) *TAGE {
 		hist:     NewGlobalHistory(cfg.MaxHist + 64),
 		lens:     GeometricLengths(cfg.MinHist, cfg.MaxHist, cfg.NumTagged),
 	}
+	t.folds = make([]componentFolds, cfg.NumTagged)
 	for i := 0; i < cfg.NumTagged; i++ {
 		t.comp = append(t.comp, make([]tageEntry, 1<<cfg.TaggedBits))
-		t.fIdx = append(t.fIdx, NewFoldedHistory(t.lens[i], cfg.TaggedBits))
-		t.fTag = append(t.fTag, NewFoldedHistory(t.lens[i], cfg.TagWidth))
-		t.fTg2 = append(t.fTg2, NewFoldedHistory(t.lens[i], cfg.TagWidth-1))
+		t.folds[i] = componentFolds{
+			idx: *NewFoldedHistory(t.lens[i], cfg.TaggedBits),
+			tag: *NewFoldedHistory(t.lens[i], cfg.TagWidth),
+			tg2: *NewFoldedHistory(t.lens[i], cfg.TagWidth-1),
+		}
 	}
 	t.scratchIdx = make([]uint32, cfg.NumTagged)
 	t.scratchTag = make([]uint32, cfg.NumTagged)
@@ -155,13 +166,14 @@ func (t *TAGE) StorageBits() int {
 
 func (t *TAGE) index(pc uint64, comp int) uint32 {
 	mask := uint32(1<<t.cfg.TaggedBits) - 1
-	h := uint32(pc) ^ uint32(pc>>t.cfg.TaggedBits) ^ t.fIdx[comp].Value() ^ uint32(comp)<<1
+	h := uint32(pc) ^ uint32(pc>>t.cfg.TaggedBits) ^ t.folds[comp].idx.Value() ^ uint32(comp)<<1
 	return h & mask
 }
 
 func (t *TAGE) tag(pc uint64, comp int) uint32 {
 	mask := uint32(1<<t.cfg.TagWidth) - 1
-	return (uint32(pc) ^ t.fTag[comp].Value() ^ (t.fTg2[comp].Value() << 1)) & mask
+	f := &t.folds[comp]
+	return (uint32(pc) ^ f.tag.Value() ^ (f.tg2.Value() << 1)) & mask
 }
 
 func (t *TAGE) baseIndex(pc uint64) uint32 {
@@ -175,9 +187,15 @@ func (t *TAGE) Predict(pc uint64) TagePrediction {
 	baseTaken := t.base[p.baseIx] >= 2
 
 	alt := -1
+	// Same hashes as index()/tag(), with the pc-only terms hoisted out
+	// of the per-component loop.
+	idxMask := uint32(1<<t.cfg.TaggedBits) - 1
+	tagMask := uint32(1<<t.cfg.TagWidth) - 1
+	pcIdx := uint32(pc) ^ uint32(pc>>t.cfg.TaggedBits)
 	for i := t.cfg.NumTagged - 1; i >= 0; i-- {
-		p.indices[i] = t.index(pc, i)
-		p.tags[i] = t.tag(pc, i)
+		f := &t.folds[i]
+		p.indices[i] = (pcIdx ^ f.idx.Value() ^ uint32(i)<<1) & idxMask
+		p.tags[i] = (uint32(pc) ^ f.tag.Value() ^ (f.tg2.Value() << 1)) & tagMask
 	}
 	for i := t.cfg.NumTagged - 1; i >= 0; i-- {
 		if t.comp[i][p.indices[i]].tag == uint16(p.tags[i]) {
@@ -355,10 +373,13 @@ func (t *TAGE) halveUseful() {
 // pushes a taken bit (path information), as common TAGE setups do.
 func (t *TAGE) PushHistory(taken bool) {
 	t.hist.Push(taken)
-	for i := range t.comp {
-		t.fIdx[i].Update(t.hist)
-		t.fTag[i].Update(t.hist)
-		t.fTg2[i].Update(t.hist)
+	in := uint32(t.hist.Bit(0))
+	for i := range t.folds {
+		f := &t.folds[i]
+		out := uint32(t.hist.Bit(t.lens[i])) // shared window length
+		f.idx.UpdateBits(in, out)
+		f.tag.UpdateBits(in, out)
+		f.tg2.UpdateBits(in, out)
 	}
 }
 

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// The hot-loop speed campaign removed the per-µ-op allocations from
+// the detailed cycle loop: the source is drained through a reusable
+// batch buffer, the front-end queue is a preallocated ring, and the
+// replay queue reuses its backing array. These tests pin that budget
+// so a regression (an escaping temporary, a queue re-allocated per
+// cycle) fails loudly instead of silently costing 3× throughput.
+
+// steadyCore returns a core warmed past all one-time growth: predictor
+// tables are fixed at construction, and the replay queue and issue
+// candidate list reach their steady capacity within the warm-up.
+func steadyCore(tb testing.TB, cfgName, wlName string) *Core {
+	tb.Helper()
+	cfg, err := config.Named(cfgName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := workload.ByName(wlName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := New(cfg, prog.MachineSource{M: w.NewMachine()})
+	c.Run(30_000)
+	return c
+}
+
+func TestCoreSteadyStateAllocBudget(t *testing.T) {
+	for _, tc := range []struct{ cfg, wl string }{
+		{"Baseline_6_64", "gzip"},
+		{"EOLE_4_64", "crafty"},
+		{"EOLE_4_64_4ports_4banks", "mcf"},
+	} {
+		t.Run(tc.cfg+"/"+tc.wl, func(t *testing.T) {
+			c := steadyCore(t, tc.cfg, tc.wl)
+			const chunk = 5_000
+			avg := testing.AllocsPerRun(4, func() { c.Run(chunk) })
+			// Budget: the cycle loop itself is allocation-free; the
+			// only steady-state allocations left are replay-queue
+			// regrowth right after large squashes. Pre-campaign this
+			// was ~1 allocation per µ-op (≥5000 per chunk).
+			if avg > 16 {
+				t.Fatalf("Run(%d) allocated %.0f times, budget 16", chunk, avg)
+			}
+		})
+	}
+}
+
+func TestWarmSkipAllocBudget(t *testing.T) {
+	c := steadyCore(t, "EOLE_4_64", "gzip")
+	c.FlushPipeline()
+	if avg := testing.AllocsPerRun(4, func() { c.Warm(5_000) }); avg > 2 {
+		t.Fatalf("Warm(5000) allocated %.0f times, budget 2", avg)
+	}
+	if avg := testing.AllocsPerRun(4, func() { c.Skip(5_000) }); avg > 2 {
+		t.Fatalf("Skip(5000) allocated %.0f times, budget 2", avg)
+	}
+}

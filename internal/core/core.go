@@ -69,6 +69,14 @@ type uop struct {
 	readyCycle  uint64 // OoO execution completion
 	availCycle  uint64 // earliest cycle consumers can source the value
 
+	// srcWaitUntil is a select-scan shortcut: a lower bound on the
+	// cycle this µ-op's sources can all be ready (availCycle of a
+	// pending producer, or a bound derived from the producer's own
+	// wait). The scan skips the operand check entirely until then.
+	// Purely an evaluation-frequency cache — never affects what issues
+	// when, because bounds are provably conservative.
+	srcWaitUntil uint64
+
 	srcSeq  [2]uint64 // producer seqs (srcHas gates validity)
 	srcHas  [2]bool
 	srcBank [2]uint8
@@ -183,13 +191,39 @@ type Core struct {
 	prf  *regfile.PRF
 	levt *regfile.LEVTArbiter
 
+	// Source buffering: the core drains its µ-op stream through a
+	// reusable batch buffer instead of one interface call per µ-op —
+	// the per-op Next dispatch forced a heap allocation per fetched
+	// µ-op (the callee-provided pointer escapes) and was the single
+	// largest cost of a detailed cycle. srcBatch is the source's bulk
+	// refill fast path when it has one (trace replays memcpy a whole
+	// batch; the interpreter steps directly into the buffer).
+	srcBatch prog.BatchSource
+	srcBuf   []prog.MicroOp
+	srcPos   int
+	srcLen   int
+	srcEOF   bool
+
 	// In-flight structures.
 	window  []uop  // ring buffer of renamed, uncommitted µ-ops
 	head    int    // ring index of oldest
 	count   int    // renamed in flight (== ROB occupancy)
 	headSeq uint64 // seq of window[head] (valid when count > 0)
-	fetchQ  []uop  // fetched, not yet renamed (FIFO)
-	replayQ []uop  // squashed µ-ops awaiting refetch (FIFO)
+
+	// Front-end queue: a fixed ring (power-of-two capacity >=
+	// FetchQueueSize). The previous []uop FIFO popped from the front
+	// by re-slicing, so every append eventually hit the capacity wall
+	// and reallocated — steady-state garbage on the hottest queue in
+	// the machine.
+	fetchQ []uop
+	fqHead int
+	fqLen  int
+
+	// Squashed µ-ops awaiting refetch, drained via replayHead (squash
+	// rebuilds the slice; the drain must not re-slice away the array).
+	replayQ    []uop
+	replayHead int
+
 	rat     [isa.NumArchRegs]ratEntry
 	commitB [isa.NumArchRegs]struct {
 		bank uint8
@@ -199,6 +233,24 @@ type Core struct {
 	iqCount int
 	lqCount int
 	sqCount int
+
+	// iqSeqs is the issue candidate list: seqs of µ-ops that entered
+	// the IQ, appended at rename (program order, so always sorted).
+	// Issued entries are dropped lazily when the scan passes them;
+	// squash filters out discarded seqs. iqHead is the first live
+	// index. The select scan walks this instead of the whole window —
+	// a uint64 compare per skip instead of touching a window entry.
+	iqSeqs []uint64
+	iqHead int
+
+	// issueWake is the next cycle the select scan could possibly issue
+	// anything: the min over all candidates of their dispatch-latency
+	// and source-readiness bounds, now+1 when any candidate was actually
+	// ready. Scans before this cycle are provably empty and skipped
+	// outright (rename lowers it when new candidates arrive). During
+	// a long DRAM stall the whole window waits on one load and the
+	// per-cycle scan collapses to a single compare.
+	issueWake uint64
 
 	// FU state.
 	divBusyUntil   []uint64
@@ -237,8 +289,13 @@ func New(cfg config.Config, src prog.Source) *Core {
 		prf:            regfile.New(cfg.PRF),
 		levt:           regfile.NewLEVTArbiter(cfg.PRF),
 		window:         make([]uop, nextPow2(cfg.ROBSize+8)),
+		fetchQ:         make([]uop, nextPow2(cfg.FetchQueueSize)),
+		srcBuf:         make([]prog.MicroOp, srcBatchSize),
 		divBusyUntil:   make([]uint64, cfg.NumMulDiv),
 		fpDivBusyUntil: make([]uint64, cfg.NumFPMulDiv),
+	}
+	if bs, ok := src.(prog.BatchSource); ok {
+		c.srcBatch = bs
 	}
 	if cfg.ValuePrediction {
 		p, ok := vpred.NewByName(cfg.PredictorName)
@@ -258,6 +315,66 @@ func nextPow2(n int) int {
 	return p
 }
 
+// srcBatchSize is the source refill granularity. Large enough to
+// amortize the interface dispatch and (for the interpreter source) the
+// call into prog.Machine to nothing per µ-op, small enough that a
+// batch stays L1/L2-resident (256 × ~90 B).
+const srcBatchSize = 256
+
+// refillSrc pulls the next batch of µ-ops from the source into srcBuf.
+// It reports false when the stream is exhausted.
+func (c *Core) refillSrc() bool {
+	if c.srcEOF {
+		return false
+	}
+	if c.srcBatch != nil {
+		c.srcLen = c.srcBatch.NextBatch(c.srcBuf)
+	} else {
+		n := 0
+		for n < len(c.srcBuf) && c.src.Next(&c.srcBuf[n]) {
+			n++
+		}
+		c.srcLen = n
+	}
+	c.srcPos = 0
+	if c.srcLen == 0 {
+		c.srcEOF = true
+		return false
+	}
+	return true
+}
+
+// srcNext yields the next µ-op of the stream out of the batch buffer.
+// All source consumption (detailed fetch, functional warming, skip)
+// goes through here, so the stream stays in order no matter how the
+// phases interleave.
+func (c *Core) srcNext(u *prog.MicroOp) bool {
+	if c.srcPos >= c.srcLen && !c.refillSrc() {
+		return false
+	}
+	*u = c.srcBuf[c.srcPos]
+	c.srcPos++
+	return true
+}
+
+// srcSkip discards up to n µ-ops from the stream without copying them
+// out, returning how many were consumed.
+func (c *Core) srcSkip(n uint64) uint64 {
+	var done uint64
+	for done < n {
+		if c.srcPos >= c.srcLen && !c.refillSrc() {
+			break
+		}
+		avail := uint64(c.srcLen - c.srcPos)
+		if take := n - done; avail > take {
+			avail = take
+		}
+		c.srcPos += int(avail)
+		done += avail
+	}
+	return done
+}
+
 // Stats returns the accumulated statistics.
 func (c *Core) Stats() *Stats { return &c.stats }
 
@@ -266,6 +383,9 @@ func (c *Core) Memory() *cache.Hierarchy { return c.mem }
 
 // Branch exposes the branch prediction stack (for reporting).
 func (c *Core) Branch() *bpred.Unit { return c.bp }
+
+// replayLen reports the µ-ops still queued for refetch.
+func (c *Core) replayLen() int { return len(c.replayQ) - c.replayHead }
 
 // at returns the window entry holding seq (which must be in flight).
 func (c *Core) at(seq uint64) *uop {
@@ -318,7 +438,7 @@ func (c *Core) RunContext(ctx context.Context, n uint64) (*Stats, error) {
 		c.commit()
 		c.issue()
 		c.rename()
-		if !c.fetch() && c.count == 0 && len(c.fetchQ) == 0 && len(c.replayQ) == 0 {
+		if !c.fetch() && c.count == 0 && c.fqLen == 0 && c.replayLen() == 0 {
 			break // source exhausted and pipeline drained
 		}
 		c.now++

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"eole/internal/config"
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// SkipContext checks ctx before every chunk, so a pre-canceled context
+// must consume nothing: the sampler relies on cancellation leaving the
+// source cursor where it was.
+func TestSkipContextPreCanceled(t *testing.T) {
+	c := steadyCore(t, "EOLE_4_64", "gzip")
+	c.FlushPipeline()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := c.SkipContext(ctx, 1_000_000)
+	if done != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SkipContext(canceled) = (%d, %v), want (0, context.Canceled)", done, err)
+	}
+}
+
+// WarmContext's checkpoint fires at done%interval == interval-1, so a
+// pre-canceled context stops at exactly warmCtxCheckInterval-1 warmed
+// µ-ops — bounded, deterministic progress.
+func TestWarmContextPreCanceled(t *testing.T) {
+	c := steadyCore(t, "EOLE_4_64", "gzip")
+	c.FlushPipeline()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := c.WarmContext(ctx, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("WarmContext(canceled) err = %v, want context.Canceled", err)
+	}
+	if done != warmCtxCheckInterval-1 {
+		t.Fatalf("WarmContext(canceled) consumed %d µ-ops, want %d", done, warmCtxCheckInterval-1)
+	}
+}
+
+// Skip must leave the shared batch cursor mid-buffer in exactly the
+// state a fresh core over a pre-advanced machine would start from:
+// detailed simulation picking up after Skip(n) has to behave as if the
+// first n µ-ops never existed. An odd n forces the handoff to land
+// mid-batch rather than on a refill boundary.
+func TestSkipCursorConsistency(t *testing.T) {
+	cfg, err := config.Named("EOLE_4_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const skip, measure = 1234, 20_000
+
+	skipped := New(cfg, prog.MachineSource{M: w.NewMachine()})
+	if got := skipped.Skip(skip); got != skip {
+		t.Fatalf("Skip consumed %d, want %d", got, skip)
+	}
+	a := *skipped.Run(measure)
+
+	m := w.NewMachine()
+	var u prog.MicroOp
+	for i := 0; i < skip; i++ {
+		if !m.StepInto(&u) {
+			t.Fatalf("machine dry at µ-op %d during pre-advance", i)
+		}
+	}
+	b := *New(cfg, prog.MachineSource{M: m}).Run(measure)
+
+	if a != b {
+		t.Fatalf("stats diverge after mid-batch Skip handoff\n  skip-path: %+v\n  pre-adv:   %+v", a, b)
+	}
+}

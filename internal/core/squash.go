@@ -56,10 +56,11 @@ func (c *Core) squashYounger(seq uint64, restartFetch uint64) {
 	c.count = keep
 
 	// Front-end queue and the fetch pending slot are younger still.
-	for i := range c.fetchQ {
-		replays = append(replays, resetForReplay(&c.fetchQ[i]))
+	fqMask := len(c.fetchQ) - 1
+	for i := 0; i < c.fqLen; i++ {
+		replays = append(replays, resetForReplay(&c.fetchQ[(c.fqHead+i)&fqMask]))
 	}
-	c.fetchQ = c.fetchQ[:0]
+	c.fqHead, c.fqLen = 0, 0
 	if c.pendingValid {
 		replays = append(replays, resetForReplay(&c.pending))
 		c.pendingValid = false
@@ -67,7 +68,22 @@ func (c *Core) squashYounger(seq uint64, restartFetch uint64) {
 
 	// Anything already awaiting replay is younger than everything
 	// squashed now (it was fetched after); keep program order.
-	c.replayQ = append(replays, c.replayQ...)
+	c.replayQ = append(replays, c.replayQ[c.replayHead:]...)
+	c.replayHead = 0
+
+	// Drop squashed seqs from the issue candidate list: they will be
+	// appended again when their replays re-rename, and a stale entry
+	// surviving until then would make the list consider the µ-op twice.
+	limit := c.headSeq + uint64(c.count)
+	live := c.iqSeqs[c.iqHead:]
+	w := 0
+	for _, s := range live {
+		if s < limit {
+			live[w] = s
+			w++
+		}
+	}
+	c.iqSeqs = c.iqSeqs[:c.iqHead+w]
 
 	// Rebuild the RAT from the surviving window.
 	for r := range c.rat {

@@ -41,19 +41,24 @@ func (c *Core) firstFetchPredict(u *uop) {
 	}
 }
 
-// nextUop pulls the next µ-op to fetch: replays first, then the trace.
+// nextUop pulls the next µ-op to fetch into *u (overwriting it
+// entirely): replays first, then the source's batch buffer.
 func (c *Core) nextUop(u *uop) bool {
-	if len(c.replayQ) > 0 {
-		*u = c.replayQ[0]
-		c.replayQ = c.replayQ[1:]
+	if c.replayHead < len(c.replayQ) {
+		*u = c.replayQ[c.replayHead]
+		c.replayHead++
+		if c.replayHead == len(c.replayQ) {
+			c.replayQ = c.replayQ[:0]
+			c.replayHead = 0
+		}
 		c.stats.Replayed++
 		return true
 	}
-	var m uop
-	if !c.src.Next(&m.MicroOp) {
+	if c.srcPos >= c.srcLen && !c.refillSrc() {
 		return false
 	}
-	*u = m
+	*u = uop{MicroOp: c.srcBuf[c.srcPos]}
+	c.srcPos++
 	c.firstFetchPredict(u)
 	return true
 }
@@ -100,17 +105,19 @@ func (c *Core) fetch() bool {
 	taken := 0
 	fetched := 0
 	firstPC := uint64(0)
-	for fetched < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueueSize {
-		var u uop
+	fqMask := len(c.fetchQ) - 1
+	for fetched < c.cfg.FetchWidth && c.fqLen < c.cfg.FetchQueueSize {
+		// Fill the ring slot in place: no intermediate uop copy.
+		u := &c.fetchQ[(c.fqHead+c.fqLen)&fqMask]
 		if c.pendingValid {
-			u = c.pending
+			*u = c.pending
 			c.pendingValid = false
-		} else if !c.nextUop(&u) {
-			return fetched > 0 || len(c.fetchQ) > 0 || c.count > 0
+		} else if !c.nextUop(u) {
+			return fetched > 0 || c.fqLen > 0 || c.count > 0
 		}
 		if u.IsBranch() && u.Taken {
 			if taken >= c.cfg.MaxTakenPerFetch {
-				c.pending = u
+				c.pending = *u
 				c.pendingValid = true
 				break
 			}
@@ -123,8 +130,8 @@ func (c *Core) fetch() bool {
 		if fetched == 0 {
 			firstPC = u.PC
 		}
-		c.fetchQ = append(c.fetchQ, u)
-		c.trace(&u, "fetch")
+		c.fqLen++
+		c.trace(u, "fetch")
 		c.stats.Fetched++
 		fetched++
 		if u.brMispred {
@@ -196,8 +203,10 @@ func (c *Core) eeStageFor(u *uop) int {
 // µ-ops from the front-end queue into the window.
 func (c *Core) rename() {
 	slot := 0
-	for slot < c.cfg.RenameWidth && len(c.fetchQ) > 0 {
-		u := &c.fetchQ[0]
+	fqMask := len(c.fetchQ) - 1
+	winMask := len(c.window) - 1
+	for slot < c.cfg.RenameWidth && c.fqLen > 0 {
+		u := &c.fetchQ[c.fqHead&fqMask]
 		if u.fetchCycle+uint64(c.cfg.FetchToRenameLag) > c.now {
 			break
 		}
@@ -237,9 +246,15 @@ func (c *Core) rename() {
 			}
 		}
 
-		// Commit to renaming this µ-op.
-		v := *u
-		c.fetchQ = c.fetchQ[1:]
+		// Commit to renaming this µ-op: move it straight from the
+		// front-end ring into its window slot (one copy) and mutate in
+		// place. The slot is outside the live [head, head+count) range
+		// until count advances below, so nothing observes it early.
+		idx := (c.head + c.count) & winMask
+		v := &c.window[idx]
+		*v = *u
+		c.fqHead++
+		c.fqLen--
 		v.renamed = true
 		v.renameCycle = c.now
 		v.eeStage = uint8(eeStage)
@@ -307,19 +322,21 @@ func (c *Core) rename() {
 		if needsIQ {
 			v.inIQ = true
 			c.iqCount++
+			c.iqSeqs = append(c.iqSeqs, v.Seq)
+			if c.now+2 < c.issueWake {
+				c.issueWake = c.now + 2 // issuable after dispatch latency
+			}
 		}
 
-		// Insert into the window ring.
+		// Publish into the window ring.
 		if c.count == 0 {
 			c.headSeq = v.Seq
 		}
-		idx := (c.head + c.count) & (len(c.window) - 1)
-		c.window[idx] = v
 		c.count++
 		slot++
-		c.trace(&v, "rename")
+		c.trace(v, "rename")
 		if v.earlyDone {
-			c.trace(&v, "early")
+			c.trace(v, "early")
 		}
 	}
 	if slot == c.cfg.RenameWidth {
@@ -332,17 +349,39 @@ func (c *Core) rename() {
 // srcsReady reports whether all register operands of u can be sourced
 // this cycle (bypass-inclusive).
 func (c *Core) srcsReady(u *uop) bool {
+	// A source found ready is marked satisfied (srcHas cleared) so the
+	// next cycle's scan skips the producer chase: availCycle never
+	// rises within an entry's lifetime, committed producers stay
+	// committed, and a squash that could invalidate the producer also
+	// discards this consumer (rebuilt fresh at re-rename). srcHas is
+	// read nowhere else.
 	for k := 0; k < 2; k++ {
 		if !u.srcHas[k] {
 			continue
 		}
 		seq := u.srcSeq[k]
-		if seq < c.headSeq {
-			continue // producer committed
+		if seq >= c.headSeq {
+			p := c.at(seq)
+			if avail := p.availCycle; avail > c.now {
+				// Record when to look again. An issued (or EE/VP)
+				// producer's availCycle is exact and final. A pending
+				// producer issues at c.now+1 at the earliest — and no
+				// earlier than its own source bound — and every
+				// latency is ≥ 1 cycle.
+				bound := avail
+				if avail == never {
+					bound = c.now + 2
+					if p.srcWaitUntil+1 > bound {
+						bound = p.srcWaitUntil + 1
+					}
+				}
+				if bound > u.srcWaitUntil {
+					u.srcWaitUntil = bound
+				}
+				return false
+			}
 		}
-		if c.at(seq).availCycle > c.now {
-			return false
-		}
+		u.srcHas[k] = false
 	}
 	return true
 }
@@ -351,19 +390,67 @@ func (c *Core) srcsReady(u *uop) bool {
 // IssueWidth ready µ-ops, subject to functional unit and memory port
 // availability.
 func (c *Core) issue() {
+	if c.now < c.issueWake {
+		return // provably nothing to issue this cycle
+	}
 	issued := 0
 	aluUsed, mulUsed, fpUsed, fpmUsed, memUsed := 0, 0, 0, 0, 0
 	mask := len(c.window) - 1
-	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+	wake := uint64(never)
+	// Oldest-first scan over the candidate list (seq-sorted; see
+	// iqSeqs). First drop consumed leading entries and reclaim the
+	// backing array once it is drained or mostly dead.
+	for c.iqHead < len(c.iqSeqs) {
+		seq := c.iqSeqs[c.iqHead]
+		if seq >= c.headSeq && seq < c.headSeq+uint64(c.count) {
+			u := &c.window[(c.head+int(seq-c.headSeq))&mask]
+			if u.inIQ && !u.issued {
+				break
+			}
+		}
+		c.iqHead++
+	}
+	if c.iqHead == len(c.iqSeqs) {
+		c.iqSeqs = c.iqSeqs[:0]
+		c.iqHead = 0
+	} else if c.iqHead >= 256 && c.iqHead*2 >= len(c.iqSeqs) {
+		c.iqSeqs = append(c.iqSeqs[:0], c.iqSeqs[c.iqHead:]...)
+		c.iqHead = 0
+	}
+	end := c.headSeq + uint64(c.count)
+	for li := c.iqHead; li < len(c.iqSeqs) && issued < c.cfg.IssueWidth; li++ {
+		seq := c.iqSeqs[li]
+		if seq < c.headSeq || seq >= end {
+			continue // committed, or discarded by a squash this cycle
+		}
+		i := int(seq - c.headSeq)
 		u := &c.window[(c.head+i)&mask]
 		if !u.inIQ || u.issued {
 			continue
 		}
 		if u.renameCycle+2 > c.now {
-			continue // dispatch latency
+			if u.renameCycle+2 < wake {
+				wake = u.renameCycle + 2 // dispatch latency
+			}
+			continue
+		}
+		if c.now < u.srcWaitUntil {
+			if u.srcWaitUntil < wake {
+				wake = u.srcWaitUntil // sources provably not ready yet
+			}
+			continue
 		}
 		if !c.srcsReady(u) {
+			if u.srcWaitUntil < wake {
+				wake = u.srcWaitUntil // bound just recorded
+			}
 			continue
+		}
+		// A ready candidate: whatever happens below (issue, port or
+		// FU conflict, memory-order wait), it must be reconsidered
+		// next cycle.
+		if c.now+1 < wake {
+			wake = c.now + 1
 		}
 
 		cls := u.Op.Class()
@@ -449,6 +536,7 @@ func (c *Core) issue() {
 		}
 		issued++
 	}
+	c.issueWake = wake
 	if issued == c.cfg.IssueWidth {
 		c.stats.IssueSaturated++
 	}

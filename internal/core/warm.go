@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"eole/internal/isa"
-	"eole/internal/prog"
 )
 
 // This file is the functional-warming fast path behind sampled
@@ -45,14 +44,18 @@ func (c *Core) FlushPipeline() {
 	c.head = 0
 	c.count = 0
 	c.headSeq = 0
-	c.fetchQ = c.fetchQ[:0]
+	c.fqHead, c.fqLen = 0, 0
 	c.replayQ = nil
+	c.replayHead = 0
 	c.rat = [isa.NumArchRegs]ratEntry{}
 	c.commitB = [isa.NumArchRegs]struct {
 		bank uint8
 		has  bool
 	}{}
 	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
+	c.iqSeqs = c.iqSeqs[:0]
+	c.iqHead = 0
+	c.issueWake = 0
 	for i := range c.divBusyUntil {
 		c.divBusyUntil[i] = 0
 	}
@@ -91,7 +94,7 @@ func (c *Core) WarmContext(ctx context.Context, n uint64) (uint64, error) {
 			default:
 			}
 		}
-		if !c.src.Next(&u.MicroOp) {
+		if !c.srcNext(&u.MicroOp) {
 			return done, nil
 		}
 		// Predictors: identical order and multiplicity to detailed
@@ -131,19 +134,28 @@ func (c *Core) Skip(n uint64) uint64 {
 	return done
 }
 
-// SkipContext is Skip with cooperative cancellation.
+// SkipContext is Skip with cooperative cancellation. It discards
+// µ-ops in source batches (a trace replay skips by cursor bump, the
+// interpreter in buffer-sized strides), checking ctx between chunks at
+// the same granularity as WarmContext.
 func (c *Core) SkipContext(ctx context.Context, n uint64) (uint64, error) {
 	cDone := ctx.Done()
-	var u prog.MicroOp
-	for done := uint64(0); done < n; done++ {
-		if cDone != nil && done%warmCtxCheckInterval == warmCtxCheckInterval-1 {
+	var done uint64
+	for done < n {
+		if cDone != nil {
 			select {
 			case <-cDone:
 				return done, ctx.Err()
 			default:
 			}
 		}
-		if !c.src.Next(&u) {
+		chunk := uint64(warmCtxCheckInterval)
+		if left := n - done; chunk > left {
+			chunk = left
+		}
+		got := c.srcSkip(chunk)
+		done += got
+		if got < chunk {
 			return done, nil
 		}
 	}

@@ -281,7 +281,10 @@ func (o Opcode) Class() Class { return opClass[o] }
 // writesFlags marks integer ALU opcodes that update the x86-style flag
 // register as a side effect (arithmetic and logic, per x86 semantics;
 // moves and shifts by immediate zero are excluded for simplicity).
-var writesFlags = map[Opcode]bool{
+// Indexed by opcode: WritesFlags is queried once per dynamic µ-op on
+// the interpreter, trace-codec and predictor-validation hot paths, so
+// it must stay a branch-free table load rather than a map lookup.
+var writesFlags = [numOpcodes]bool{
 	OpAdd: true, OpSub: true, OpAddi: true,
 	OpAnd: true, OpAndi: true, OpOr: true, OpOri: true,
 	OpXor: true, OpXori: true,

@@ -55,19 +55,32 @@ const (
 // sub-word handling).
 type Memory struct {
 	pages map[uint64]*[pageWords]uint64
+
+	// One-entry page cache: workload kernels access runs of the same
+	// page (streams, stack frames), so most Read/Write calls skip the
+	// map probe entirely. lastKey is ^0 when empty (no page has that
+	// key: addresses shift right by 12).
+	lastKey  uint64
+	lastPage *[pageWords]uint64
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: map[uint64]*[pageWords]uint64{}}
+	return &Memory{pages: map[uint64]*[pageWords]uint64{}, lastKey: ^uint64(0)}
 }
 
 func (m *Memory) page(addr uint64, alloc bool) *[pageWords]uint64 {
 	key := addr >> (pageBits + 3)
+	if key == m.lastKey {
+		return m.lastPage
+	}
 	p := m.pages[key]
 	if p == nil && alloc {
 		p = new([pageWords]uint64)
 		m.pages[key] = p
+	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
 	}
 	return p
 }
@@ -129,15 +142,24 @@ func bitsOf(f float64) uint64 { return math.Float64bits(f) }
 
 // Step executes one µ-op and returns its dynamic record. ok is false
 // once the machine has halted.
-func (m *Machine) Step() (u MicroOp, ok bool) {
+func (m *Machine) Step() (MicroOp, bool) {
+	var u MicroOp
+	ok := m.StepInto(&u)
+	return u, ok
+}
+
+// StepInto executes one µ-op directly into *u, sparing the caller a
+// copy of the record (the batch source fills its buffer this way). *u
+// is untouched when the machine has halted.
+func (m *Machine) StepInto(u *MicroOp) bool {
 	if m.halted {
-		return MicroOp{}, false
+		return false
 	}
 	if m.pc < 0 || m.pc >= len(m.Prog.Code) {
 		panic(fmt.Sprintf("prog: %s: pc %d out of range", m.Prog.Name, m.pc))
 	}
-	in := m.Prog.Code[m.pc]
-	u = MicroOp{
+	in := &m.Prog.Code[m.pc]
+	*u = MicroOp{
 		Seq:   m.seq,
 		Index: m.pc,
 		PC:    m.Prog.PC(m.pc),
@@ -256,7 +278,7 @@ func (m *Machine) Step() (u MicroOp, ok bool) {
 	case isa.OpHalt:
 		m.halted = true
 		u.NextPC = u.PC
-		return u, true
+		return true
 	default:
 		panic(fmt.Sprintf("prog: unimplemented opcode %v", in.Op))
 	}
@@ -277,7 +299,7 @@ func (m *Machine) Step() (u MicroOp, ok bool) {
 
 	m.pc = next
 	u.NextPC = m.Prog.PC(next)
-	return u, true
+	return true
 }
 
 // Run executes up to n µ-ops, invoking f for each. It stops early if
@@ -305,14 +327,34 @@ type Source interface {
 	Next(u *MicroOp) bool
 }
 
+// BatchSource is the bulk fast path of Source. Per-µ-op Next calls
+// through an interface cost a dynamic dispatch each and force the
+// callee-provided *MicroOp to escape; a consumer that drains the
+// stream (the cycle-level core fetches every µ-op of the run) can
+// instead refill a reusable buffer hundreds of µ-ops at a time and
+// amortize the dispatch to nothing. NextBatch must behave exactly like
+// len(dst) consecutive Next calls: it fills dst from the front and
+// returns how many entries are valid, < len(dst) only when the stream
+// is exhausted.
+type BatchSource interface {
+	Source
+	NextBatch(dst []MicroOp) int
+}
+
 // MachineSource wraps a Machine as a Source.
 type MachineSource struct{ M *Machine }
 
 // Next implements Source.
 func (s MachineSource) Next(u *MicroOp) bool {
-	v, ok := s.M.Step()
-	if ok {
-		*u = v
+	return s.M.StepInto(u)
+}
+
+// NextBatch implements BatchSource: it steps the interpreter directly
+// into dst, skipping the per-µ-op interface hop and record copy.
+func (s MachineSource) NextBatch(dst []MicroOp) int {
+	n := 0
+	for n < len(dst) && s.M.StepInto(&dst[n]) {
+		n++
 	}
-	return ok
+	return n
 }

@@ -1,0 +1,28 @@
+package regfile
+
+import "testing"
+
+// TryAlloc/Free run up to rename-width times per cycle; the free lists
+// are fixed rings built in New, so the steady state must be
+// allocation-free.
+func TestAllocFreeZeroAlloc(t *testing.T) {
+	f := New(DefaultConfig())
+	banks := f.Banks()
+	avg := testing.AllocsPerRun(100, func() {
+		for b := 0; b < banks; b++ {
+			if !f.TryAlloc(false, b) {
+				t.Fatal("int bank unexpectedly exhausted")
+			}
+			if !f.TryAlloc(true, b) {
+				t.Fatal("fp bank unexpectedly exhausted")
+			}
+		}
+		for b := 0; b < banks; b++ {
+			f.Free(false, b)
+			f.Free(true, b)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("TryAlloc/Free allocated %.2f times per round, want 0", avg)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"eole/internal/prog"
+	"eole/internal/workload"
+)
+
+// Replay-vs-execute equality: a recorded trace replayed through a
+// cursor must reproduce the live machine's µ-op stream exactly — every
+// field, including the end-of-stream position. The trace is pushed
+// through Write/Read first so the comparison covers the varint codec,
+// not just Record's pre-decoded cache. The distributed sweep and the
+// sampled-simulation fast path both depend on this.
+func TestReplayMatchesExecution(t *testing.T) {
+	const n = 40_000
+	for _, w := range workload.All()[:4] {
+		var buf bytes.Buffer
+		if err := Record(w, n).Write(&buf); err != nil {
+			t.Fatalf("%s: Write: %v", w.Name, err)
+		}
+		tr, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: Read: %v", w.Name, err)
+		}
+		r, err := tr.SourceFor(w)
+		if err != nil {
+			t.Fatalf("%s: SourceFor: %v", w.Name, err)
+		}
+		live := prog.MachineSource{M: w.NewMachine()}
+		var ru, lu prog.MicroOp
+		for i := 0; ; i++ {
+			rok := r.Next(&ru)
+			lok := i < n && live.Next(&lu)
+			if rok != lok {
+				t.Fatalf("%s: stream length mismatch at µ-op %d (replay=%v live=%v)", w.Name, i, rok, lok)
+			}
+			if !rok {
+				break
+			}
+			if ru != lu {
+				t.Fatalf("%s: µ-op %d mismatch\n replay: %+v\n   live: %+v", w.Name, i, ru, lu)
+			}
+		}
+	}
+}
+
+// One decoded Trace must serve many Replay cursors concurrently: the
+// sweep workers share a process-wide trace cache and each simulation
+// draws its own cursor. Each cursor is single-goroutine, but they all
+// read the shared decoded-op slice — run under -race this verifies the
+// sharing is sound, and the digest check verifies cursors don't
+// perturb each other.
+func TestConcurrentReplayCursors(t *testing.T) {
+	const n = 20_000
+	w := workload.All()[0]
+	tr := Record(w, n)
+
+	digest := func(r *Replay) uint64 {
+		var h uint64 = 1469598103934665603
+		buf := make([]prog.MicroOp, 128)
+		for {
+			cnt := r.NextBatch(buf)
+			for i := 0; i < cnt; i++ {
+				h = (h ^ buf[i].PC ^ buf[i].Value ^ uint64(buf[i].Op)) * 1099511628211
+			}
+			if cnt < len(buf) {
+				return h
+			}
+		}
+	}
+
+	ref, err := tr.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := digest(ref)
+
+	const workers = 8
+	got := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		r, err := tr.NewSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, r *Replay) {
+			defer wg.Done()
+			got[i] = digest(r)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, h := range got {
+		if h != want {
+			t.Fatalf("cursor %d digest %#x != reference %#x", i, h, want)
+		}
+	}
+}

@@ -294,6 +294,14 @@ func (r *Replay) Next(u *prog.MicroOp) bool {
 	return true
 }
 
+// NextBatch implements prog.BatchSource: a replayed batch is one
+// memcpy out of the shared decoded stream.
+func (r *Replay) NextBatch(dst []prog.MicroOp) int {
+	n := copy(dst, r.ops[r.pos:])
+	r.pos += n
+	return n
+}
+
 // ops returns the decoded stream, decoding the payload on first use.
 // The decode walks the program alongside the records, so a payload
 // that desynchronizes from the program (possible only past CRC and

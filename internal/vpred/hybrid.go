@@ -49,11 +49,14 @@ func (h *Hybrid) StorageBits() int { return h.vtage.StorageBits() + h.stride.Sto
 // PushBranch implements Predictor.
 func (h *Hybrid) PushBranch(taken bool) { h.vtage.PushBranch(taken) }
 
-// Lookup implements Predictor.
+// Lookup implements Predictor. Both halves write their predictions
+// straight into the pending slots — the hybrid runs on every
+// VP-eligible µ-op, and round-tripping the wide Prediction struct
+// through by-value returns cost measurable memmove time.
 func (h *Hybrid) Lookup(pc uint64) Prediction {
-	pv := h.vtage.Lookup(pc)
-	ps := h.stride.Lookup(pc)
-	h.pendingV, h.pendingS = pv, ps
+	h.vtage.lookupInto(pc, &h.pendingV)
+	h.stride.lookupInto(pc, &h.pendingS)
+	pv, ps := &h.pendingV, &h.pendingS
 
 	out := Prediction{Hit: pv.Hit || ps.Hit}
 	switch {
@@ -76,8 +79,8 @@ func (h *Hybrid) Lookup(pc uint64) Prediction {
 
 // Train implements Predictor.
 func (h *Hybrid) Train(pc uint64, _ Prediction, actual uint64) {
-	h.vtage.Train(pc, h.pendingV, actual)
-	h.stride.Train(pc, h.pendingS, actual)
+	h.vtage.trainP(pc, &h.pendingV, actual)
+	h.stride.trainP(pc, &h.pendingS, actual)
 }
 
 // VTAGEPart exposes the context half (for reporting).

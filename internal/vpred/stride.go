@@ -147,19 +147,31 @@ func (s *TwoDeltaStride) PushBranch(bool) {}
 
 // Lookup implements Predictor.
 func (s *TwoDeltaStride) Lookup(pc uint64) Prediction {
+	var p Prediction
+	s.lookupInto(pc, &p)
+	return p
+}
+
+// lookupInto is Lookup writing into caller-owned storage (see
+// VTAGE.lookupInto).
+func (s *TwoDeltaStride) lookupInto(pc uint64, p *Prediction) {
 	ix := tableIndex(pc, s.bits)
 	e := &s.entries[ix]
-	p := Prediction{meta: predMeta{index: ix}}
+	*p = Prediction{meta: predMeta{index: ix}}
 	if e.tag == fullTag(pc) {
 		p.Hit = true
 		p.Value = e.last + uint64(e.s2)
 		p.Use = Confident(e.conf)
 	}
-	return p
 }
 
 // Train implements Predictor.
 func (s *TwoDeltaStride) Train(pc uint64, p Prediction, actual uint64) {
+	s.trainP(pc, &p, actual)
+}
+
+// trainP is Train without the by-value Prediction argument copy.
+func (s *TwoDeltaStride) trainP(pc uint64, p *Prediction, actual uint64) {
 	e := &s.entries[p.meta.index]
 	if e.tag != fullTag(pc) {
 		*e = twoDeltaEntry{tag: fullTag(pc), last: actual}

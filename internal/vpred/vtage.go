@@ -49,17 +49,24 @@ type vtageEntry struct {
 // predictions with the global branch history, so — unlike stride
 // predictors — it does not need the previous value of the instruction
 // to predict the current one and needs no in-flight speculative state.
+// vtageFolds keeps a tagged component's three folded-history registers
+// adjacent: each lookup and history push touches all three together.
+type vtageFolds struct {
+	idx bpred.FoldedHistory
+	tag bpred.FoldedHistory
+	tg2 bpred.FoldedHistory
+}
+
 type VTAGE struct {
 	cfg  VTAGEConfig
 	base []vtageBaseEntry
 	comp [][]vtageEntry
 	fpc  *FPC
 
-	hist *bpred.GlobalHistory
-	fIdx []*bpred.FoldedHistory
-	fTag []*bpred.FoldedHistory
-	fTg2 []*bpred.FoldedHistory
-	lens []int
+	hist    *bpred.GlobalHistory
+	folds   []vtageFolds
+	lens    []int
+	tagMask []uint32 // per-component "12 + rank" tag masks (Table 2)
 
 	trains uint64
 }
@@ -73,11 +80,20 @@ func NewVTAGE(cfg VTAGEConfig) *VTAGE {
 		hist: bpred.NewGlobalHistory(cfg.MaxHist + 16),
 		lens: bpred.GeometricLengths(cfg.MinHist, cfg.MaxHist, cfg.NumTagged),
 	}
+	v.folds = make([]vtageFolds, cfg.NumTagged)
+	v.tagMask = make([]uint32, cfg.NumTagged)
 	for i := 0; i < cfg.NumTagged; i++ {
 		v.comp = append(v.comp, make([]vtageEntry, 1<<cfg.TaggedBits))
-		v.fIdx = append(v.fIdx, bpred.NewFoldedHistory(v.lens[i], cfg.TaggedBits))
-		v.fTag = append(v.fTag, bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth))
-		v.fTg2 = append(v.fTg2, bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth-1))
+		v.folds[i] = vtageFolds{
+			idx: *bpred.NewFoldedHistory(v.lens[i], cfg.TaggedBits),
+			tag: *bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth),
+			tg2: *bpred.NewFoldedHistory(v.lens[i], cfg.TagWidth-1),
+		}
+		width := cfg.TagWidth + i + 1 // "12 + rank" per Table 2
+		if width > 30 {
+			width = 30
+		}
+		v.tagMask[i] = uint32(1<<width) - 1
 	}
 	return v
 }
@@ -100,34 +116,49 @@ func (v *VTAGE) StorageBits() int {
 // conditional-branch direction history.
 func (v *VTAGE) PushBranch(taken bool) {
 	v.hist.Push(taken)
-	for i := range v.comp {
-		v.fIdx[i].Update(v.hist)
-		v.fTag[i].Update(v.hist)
-		v.fTg2[i].Update(v.hist)
+	in := uint32(v.hist.Bit(0))
+	for i := range v.folds {
+		f := &v.folds[i]
+		out := uint32(v.hist.Bit(v.lens[i])) // shared window length
+		f.idx.UpdateBits(in, out)
+		f.tag.UpdateBits(in, out)
+		f.tg2.UpdateBits(in, out)
 	}
 }
 
 func (v *VTAGE) index(pc uint64, comp int) uint32 {
 	mask := uint32(1<<v.cfg.TaggedBits) - 1
-	h := uint32(pc>>2) ^ uint32(pc>>(2+uint(v.cfg.TaggedBits))) ^ v.fIdx[comp].Value() ^ uint32(comp*0x1F)
+	h := uint32(pc>>2) ^ uint32(pc>>(2+uint(v.cfg.TaggedBits))) ^ v.folds[comp].idx.Value() ^ uint32(comp*0x1F)
 	return h & mask
 }
 
 func (v *VTAGE) tag(pc uint64, comp int) uint32 {
-	width := v.cfg.TagWidth + comp + 1 // "12 + rank" per Table 2
-	if width > 30 {
-		width = 30
-	}
-	mask := uint32(1<<width) - 1
-	return (uint32(pc>>2) ^ v.fTag[comp].Value() ^ (v.fTg2[comp].Value() << 1) ^ uint32(pc>>17)) & mask
+	f := &v.folds[comp]
+	return (uint32(pc>>2) ^ f.tag.Value() ^ (f.tg2.Value() << 1) ^ uint32(pc>>17)) & v.tagMask[comp]
 }
 
 // Lookup implements Predictor.
 func (v *VTAGE) Lookup(pc uint64) Prediction {
-	p := Prediction{meta: predMeta{comp: -1}}
+	var p Prediction
+	v.lookupInto(pc, &p)
+	return p
+}
+
+// lookupInto is Lookup writing into caller-owned storage; the hybrid
+// looks up both halves per µ-op and the Prediction struct (provider
+// metadata included) is large enough that the by-value returns showed
+// up as pure memmove time.
+func (v *VTAGE) lookupInto(pc uint64, p *Prediction) {
+	*p = Prediction{meta: predMeta{comp: -1}}
+	// Same hashes as index()/tag(), with the pc-only terms hoisted out
+	// of the per-component loop.
+	idxMask := uint32(1<<v.cfg.TaggedBits) - 1
+	pcIdx := uint32(pc>>2) ^ uint32(pc>>(2+uint(v.cfg.TaggedBits)))
+	pcTag := uint32(pc>>2) ^ uint32(pc>>17)
 	for i := 0; i < v.cfg.NumTagged; i++ {
-		p.meta.indices[i] = v.index(pc, i)
-		p.meta.tags[i] = v.tag(pc, i)
+		f := &v.folds[i]
+		p.meta.indices[i] = (pcIdx ^ f.idx.Value() ^ uint32(i*0x1F)) & idxMask
+		p.meta.tags[i] = (pcTag ^ f.tag.Value() ^ (f.tg2.Value() << 1)) & v.tagMask[i]
 	}
 	for i := v.cfg.NumTagged - 1; i >= 0; i-- {
 		e := &v.comp[i][p.meta.indices[i]]
@@ -137,7 +168,7 @@ func (v *VTAGE) Lookup(pc uint64) Prediction {
 			p.Hit = true
 			p.Value = e.value
 			p.Use = Confident(e.conf)
-			return p
+			return
 		}
 	}
 	// Base component: tagless last-value table.
@@ -147,11 +178,15 @@ func (v *VTAGE) Lookup(pc uint64) Prediction {
 	p.Hit = true
 	p.Value = e.value
 	p.Use = Confident(e.conf)
-	return p
 }
 
 // Train implements Predictor.
 func (v *VTAGE) Train(pc uint64, p Prediction, actual uint64) {
+	v.trainP(pc, &p, actual)
+}
+
+// trainP is Train without the by-value Prediction argument copy.
+func (v *VTAGE) trainP(pc uint64, p *Prediction, actual uint64) {
 	v.trains++
 	if v.cfg.UResetEvery > 0 && v.trains%v.cfg.UResetEvery == 0 {
 		v.clearUseful()
@@ -190,7 +225,7 @@ func (v *VTAGE) Train(pc uint64, p Prediction, actual uint64) {
 	}
 }
 
-func (v *VTAGE) allocate(p Prediction, actual uint64) {
+func (v *VTAGE) allocate(p *Prediction, actual uint64) {
 	start := p.meta.comp + 1
 	for i := start; i < v.cfg.NumTagged; i++ {
 		e := &v.comp[i][p.meta.indices[i]]
