@@ -17,10 +17,24 @@
 //	GET  /v1/configs         named machine configurations
 //	GET  /v1/workloads       the 19 benchmarks
 //	GET  /v1/traces          recorded µ-op traces (workload, length, bytes)
+//	GET  /v1/artifacts/{kind}/{key}  serve one stored artifact (also HEAD)
+//	PUT  /v1/artifacts/{kind}/{key}  store one validated artifact
 //	GET  /v1/stats           service counters plus per-endpoint request/error counters
 //	GET  /v1/healthz         cheap liveness (status, version, uptime, queue depth)
 //	POST /v1/cluster/sweep   (with -peers) shard a sweep across the worker fleet
 //	GET  /v1/cluster/workers (with -peers) per-worker health, counters and merged stats
+//
+// Persistence: -artifact-dir roots a content-addressed artifact fabric
+// holding simulation results and recorded traces (memory LRU → disk →
+// optional -artifact-peer HTTP tier). Results and traces survive
+// restarts — a restarted server answers previously simulated requests
+// from disk without simulating — and /v1/simulate and /v1/sweep emit
+// ETags derived from the request's content address, so clients can
+// revalidate cached responses with If-None-Match and get 304s without
+// any simulation work. Workers started with -artifact-peer pointing at
+// the coordinator push freshly recorded traces (and results) there and
+// fetch ones their siblings recorded, so a cluster interprets each
+// workload once fleet-wide.
 //
 // Cluster mode: any eoled can coordinate a fleet of others. Start
 // workers normally (optionally with -worker to document the role) and
@@ -79,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"eole/internal/artifact"
 	"eole/internal/cluster"
 	"eole/internal/simsvc"
 )
@@ -86,26 +101,29 @@ import (
 // version identifies this server build on /v1/healthz and /v1/stats.
 // Bump alongside schema-visible changes so cluster operators can spot
 // a mixed-version fleet from GET /v1/cluster/workers.
-const version = "0.5.0"
+const version = "0.6.0"
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		par       = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache-dir", "", "spill simulation results to this directory")
-		cacheN    = flag.Int("cache-entries", 0, "in-memory result cache bound (0 = 16384, negative = unbounded)")
-		warmup    = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
-		measure   = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
-		maxUops   = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
-		maxQueue  = flag.Int("max-queue", 1024, "queue-depth bound: answer 429 with Retry-After once this many unique simulations are queued (0 disables the 429; requests then block once the internal queue fills)")
-		traces    = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
-		traceDir  = flag.String("trace-dir", "", "persist recorded traces to this directory (implies -traces)")
-		traceMax  = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
-		peers     = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
-		workerOn  = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
-		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-job and per-dispatch records)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default and never on the API listener")
+		addr         = flag.String("addr", ":8080", "listen address")
+		par          = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		artifactDir  = flag.String("artifact-dir", "", "persist the artifact fabric (results under <dir>/result, traces under <dir>/trace); implies -traces")
+		artifactPeer = flag.String("artifact-peer", "", "base URL of a peer eoled whose /v1/artifacts backs cache misses (workers point this at the coordinator)")
+		cacheDir     = flag.String("cache-dir", "", "spill simulation results to this directory (alias for an -artifact-dir result override)")
+		cacheN       = flag.Int("cache-entries", 0, "in-memory result cache bound (0 = 16384, negative = unbounded)")
+		warmup       = flag.Uint64("default-warmup", 50_000, "warm-up µ-ops when a request omits warmup")
+		measure      = flag.Uint64("default-measure", 200_000, "measured µ-ops when a request omits measure")
+		maxUops      = flag.Uint64("max-uops", 50_000_000, "per-request ceiling on warmup+measure µ-ops (0 = unlimited)")
+		maxQueue     = flag.Int("max-queue", 1024, "queue-depth bound: answer 429 with Retry-After once this many unique simulations are queued (0 disables the 429; requests then block once the internal queue fills)")
+		traces       = flag.Bool("traces", true, "record each workload's µ-op stream once and replay it per config")
+		traceDir     = flag.String("trace-dir", "", "persist recorded traces to this directory (alias for an -artifact-dir trace override; implies -traces)")
+		traceMax     = flag.Uint64("max-trace-uops", 0, "trace length ceiling in µ-ops; longer requests run execute-driven (0 = 1M)")
+		peers        = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
+		shareTraces  = flag.Bool("cluster-share-traces", true, "gate cluster sweeps so each workload's trace is recorded by one worker and fetched by the rest (workers need -artifact-peer pointing here to benefit)")
+		workerOn     = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-job and per-dispatch records)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default and never on the API listener")
 	)
 	flag.Parse()
 
@@ -129,13 +147,39 @@ func main() {
 		queueDepth = *maxQueue + 1
 	}
 
+	// The artifact store is always created — even with no directories
+	// it provides the memory tier behind /v1/artifacts, which is what
+	// lets a diskless coordinator relay traces between workers. It is
+	// built here (not inside simsvc) so the HTTP layer and the service
+	// share one store and one set of tier counters.
+	var peer artifact.Peer
+	if *artifactPeer != "" {
+		peer = artifact.NewHTTPPeer(*artifactPeer)
+	}
+	store, err := artifact.Open(artifact.Options{
+		Dir: *artifactDir,
+		KindDirs: map[artifact.Kind]string{
+			artifact.KindResult: *cacheDir,
+			artifact.KindTrace:  *traceDir,
+		},
+		Peer:   peer,
+		Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eoled:", err)
+		os.Exit(1)
+	}
+	if store.Persistent() {
+		logger.Info("artifact_fabric", "dir", *artifactDir, "cache_dir", *cacheDir,
+			"trace_dir", *traceDir, "peer", *artifactPeer)
+	}
+
 	svc, err := simsvc.New(simsvc.Options{
 		Parallelism:  *par,
 		QueueDepth:   queueDepth,
-		CacheDir:     *cacheDir,
+		Artifacts:    store,
 		CacheEntries: *cacheN,
-		Traces:       *traces,
-		TraceDir:     *traceDir,
+		Traces:       *traces || *traceDir != "" || *artifactDir != "",
 		TraceMaxOps:  *traceMax,
 		Logger:       logger,
 	})
@@ -147,8 +191,9 @@ func main() {
 	var coord *cluster.Coordinator
 	if *peers != "" {
 		coord, err = cluster.New(cluster.Options{
-			Workers: strings.Split(*peers, ","),
-			Logger:  logger,
+			Workers:     strings.Split(*peers, ","),
+			ShareTraces: *shareTraces,
+			Logger:      logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eoled:", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"eole/internal/artifact"
 	"eole/internal/cluster"
 	"eole/internal/obs"
 	"eole/internal/simsvc"
@@ -52,6 +53,38 @@ func registerServiceMetrics(reg *obs.Registry, svc *simsvc.Service) {
 		cacheSize.Set(float64(st.CacheSize))
 		queueLen.Set(float64(svc.QueueLen()))
 		inflight.Set(float64(svc.InFlight()))
+	})
+}
+
+// registerArtifactMetrics mirrors the artifact store's (tier × kind)
+// accounting matrix into Prometheus instruments. Label cardinality is
+// bounded: 3 tiers × 2 kinds.
+func registerArtifactMetrics(reg *obs.Registry, store *artifact.Store) {
+	var (
+		hits    = reg.CounterVec("eole_artifact_hits_total", "Artifact lookups answered by the tier.", "tier", "kind")
+		misses  = reg.CounterVec("eole_artifact_misses_total", "Artifact lookups the tier could not answer (peer tier includes fetch errors).", "tier", "kind")
+		evicted = reg.CounterVec("eole_artifact_evictions_total", "Artifacts evicted from the tier by its byte budget.", "tier", "kind")
+		bytes   = reg.GaugeVec("eole_artifact_bytes", "Bytes currently resident in the tier.", "tier", "kind")
+		entries = reg.GaugeVec("eole_artifact_entries", "Artifacts currently resident in the tier.", "tier", "kind")
+		quar    = reg.CounterVec("eole_artifact_quarantined_total", "Corrupt disk artifacts moved to quarantine.", "kind")
+		pushes  = reg.CounterVec("eole_artifact_peer_pushes_total", "Artifacts pushed to the peer.", "kind")
+		pushErr = reg.CounterVec("eole_artifact_peer_push_errors_total", "Failed artifact pushes to the peer.", "kind")
+	)
+	reg.OnGather(func() {
+		for _, ts := range store.Stats() {
+			hits.With(ts.Tier, ts.Kind).Set(float64(ts.Hits))
+			misses.With(ts.Tier, ts.Kind).Set(float64(ts.Misses))
+			evicted.With(ts.Tier, ts.Kind).Set(float64(ts.Evictions))
+			bytes.With(ts.Tier, ts.Kind).Set(float64(ts.Bytes))
+			entries.With(ts.Tier, ts.Kind).Set(float64(ts.Entries))
+			switch ts.Tier {
+			case "disk":
+				quar.With(ts.Kind).Set(float64(ts.Quarantined))
+			case "peer":
+				pushes.With(ts.Kind).Set(float64(ts.Pushes))
+				pushErr.With(ts.Kind).Set(float64(ts.PushErrors))
+			}
+		}
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"eole"
+	"eole/internal/artifact"
 	"eole/internal/cluster"
 	"eole/internal/obs"
 	"eole/internal/simsvc"
@@ -74,7 +75,10 @@ type server struct {
 	// the per-endpoint request/latency instruments fed by route().
 	reg   *obs.Registry
 	httpm *obs.HTTPMetrics
-	log   *slog.Logger
+	// notModifiedVec counts conditional requests answered 304 without
+	// simulating, labeled by route pattern path.
+	notModifiedVec *obs.CounterVec
+	log            *slog.Logger
 }
 
 func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
@@ -91,8 +95,13 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 		log:       logger,
 	}
 	s.httpm = obs.NewHTTPMetrics(s.reg)
+	s.notModifiedVec = s.reg.CounterVec("eole_http_not_modified_total",
+		"Conditional requests answered 304 Not Modified from the entity tag alone.", "path")
 	obs.RegisterRuntimeMetrics(s.reg)
 	registerServiceMetrics(s.reg, svc)
+	if store := svc.Artifacts(); store != nil {
+		registerArtifactMetrics(s.reg, store)
+	}
 	if opts.coord != nil {
 		registerClusterMetrics(s.reg, opts.coord)
 	}
@@ -127,6 +136,8 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	route("GET /v1/healthz", s.handleHealthz)
 	route("GET /v1/figures", s.handleFiguresIndex)
 	route("GET /v1/figures/{id}", s.handleFigure)
+	route("GET /v1/artifacts/{kind}/{key}", s.handleArtifactGet)
+	route("PUT /v1/artifacts/{kind}/{key}", s.handleArtifactPut)
 	if opts.coord != nil {
 		route("POST /v1/cluster/sweep", s.handleClusterSweep)
 		route("GET /v1/cluster/workers", s.handleClusterWorkers)
@@ -315,6 +326,17 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The simulator is deterministic, so the entity tag depends only on
+	// the request's content address: a client revalidating a cached 200
+	// with If-None-Match is answered 304 before any simulation work —
+	// even before the backpressure gate, since a 304 costs nothing.
+	etag := resultETag(simsvc.KeyOf(sreq), sreq.Config.Label())
+	if matchETag(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		s.notModified(r.Pattern)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	// Backpressure only gates work that would actually queue: a cached
 	// or coalescable request is answered for free regardless of
 	// backlog, so warm and duplicate traffic keeps flowing through a
@@ -332,6 +354,9 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// The tag is attached only to a fully successful response — a
+	// failure must never become revalidatable as if it had content.
+	w.Header().Set("ETag", etag)
 	writeJSON(w, http.StatusOK, cluster.Relabel(report, sreq.Config.Label()))
 }
 
@@ -389,6 +414,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Like /v1/simulate, a sweep is revalidatable from its cells'
+	// content addresses alone (digested in response order, so cell
+	// alignment is part of the tag).
+	etag := sweepETag(reqs)
+	if matchETag(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		s.notModified(r.Pattern)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	// Backpressure counts only the cells a backlogged service would
 	// actually have to queue: cached or in-flight-coalescable cells
 	// are served for free (a re-run of a completed sweep passes even
@@ -416,6 +451,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := sweepResponse{Results: make([]sweepResult, len(sweep.Jobs))}
+	complete := true
 	for i, job := range sweep.Jobs {
 		report, err := job.Wait(r.Context())
 		label := reqs[i].Config.Label()
@@ -426,10 +462,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			res.Error = err.Error()
+			complete = false
 		} else {
 			res.Report = cluster.Relabel(report, label)
 		}
 		resp.Results[i] = res
+	}
+	// Tag only fully successful sweeps: a partial response must not be
+	// revalidated into permanence by later If-None-Match requests.
+	if complete {
+		w.Header().Set("ETag", etag)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -520,9 +562,12 @@ func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 // cluster coordinator uses to attribute load per worker.
 type statsResponse struct {
 	simsvc.Stats
-	Version   string                           `json:"version,omitempty"`
-	UptimeNS  int64                            `json:"uptime_ns"`
-	QueueLen  int                              `json:"queue_len"`
+	Version  string `json:"version,omitempty"`
+	UptimeNS int64  `json:"uptime_ns"`
+	QueueLen int    `json:"queue_len"`
+	// Artifacts is the artifact store's (tier × kind) accounting
+	// matrix; absent when the service runs without a store.
+	Artifacts []artifact.TierStats             `json:"artifacts,omitempty"`
 	Endpoints map[string]cluster.EndpointStats `json:"endpoints"`
 }
 
@@ -534,13 +579,17 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Errors:   ep.errors.Load(),
 		}
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:     s.svc.Stats(),
 		Version:   s.opts.version,
 		UptimeNS:  int64(time.Since(s.start)),
 		QueueLen:  s.svc.QueueLen(),
 		Endpoints: eps,
-	})
+	}
+	if store := s.svc.Artifacts(); store != nil {
+		resp.Artifacts = store.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is the cheap liveness probe: no simulation state is

@@ -97,6 +97,16 @@ type Options struct {
 	// closed — must not pin a cell forever: the timeout fails the
 	// dispatch into the ordinary retry-with-requeue path.
 	DispatchTimeout time.Duration
+	// ShareTraces gates sweep dispatch so each workload's µ-op trace is
+	// recorded once cluster-wide: the first cell of a workload is
+	// elected its recording lead and dispatched alone; sibling cells of
+	// the same workload hold until the lead completes, then fan out —
+	// by which point the lead's worker has pushed the trace to its
+	// artifact peer (the coordinator) and the siblings' workers fetch
+	// it instead of re-interpreting the workload. Off, every worker
+	// that receives a cell of a fresh workload records its own trace in
+	// parallel. Pure scheduling: results are byte-identical either way.
+	ShareTraces bool
 	// Logger receives cluster events (nil = discard): circuit
 	// open/close transitions at Info, per-cell dispatches at Debug.
 	// Dispatch events carry the sweep's request ID so a coordinator's

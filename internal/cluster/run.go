@@ -28,7 +28,17 @@ type cell struct {
 	// retry prefers a worker it has not visited yet (guarded by
 	// Coordinator.mu).
 	tried map[*worker]bool
+	// lead marks the cell currently elected to record its workload's
+	// trace (ShareTraces gating; guarded by Coordinator.mu).
+	lead bool
 }
+
+// Workload-lead states for ShareTraces gating (Run.leads values).
+const (
+	leadNone     = iota // no cell of the workload dispatched yet
+	leadInFlight        // the elected lead is on the wire; siblings hold
+	leadDone            // a cell completed: the trace exists fleet-wide
+)
 
 // CellMeta records where one sweep cell was computed.
 type CellMeta struct {
@@ -67,10 +77,15 @@ type Run struct {
 	queue    []*cell
 	pending  int // cells not yet terminal
 	inflight int // this run's dispatches currently on the wire
-	reports  []*eole.Report
-	errs     []error
-	meta     []CellMeta
-	err      error
+	// leads tracks per-workload trace-recording state (ShareTraces
+	// gating): while a workload's first cell is on the wire, its
+	// siblings wait so the recorded trace is shared instead of being
+	// re-interpreted on every worker at once. nil when gating is off.
+	leads   map[string]int
+	reports []*eole.Report
+	errs    []error
+	meta    []CellMeta
+	err     error
 }
 
 // Start decomposes the sweep into deduplicated cells and begins
@@ -108,6 +123,9 @@ func (c *Coordinator) Start(ctx context.Context, reqs []simsvc.Request) (*Run, e
 	}
 	r.pending = len(r.queue)
 	r.results = make(chan CellResult, len(r.queue))
+	if c.opts.ShareTraces {
+		r.leads = make(map[string]int)
+	}
 	// A canceled sweep context must wake the dispatch loop so it can
 	// fail the still-queued cells (wake, not a bare Broadcast: see
 	// Coordinator.wake).
@@ -190,11 +208,22 @@ func (r *Run) loop() {
 			c.cond.Wait()
 			continue
 		}
-		if len(r.queue) == 0 {
+		// Head-of-line with a trace-gating skip: the first cell whose
+		// workload is not currently being lead-recorded is dispatchable.
+		idx := -1
+		for i, cand := range r.queue {
+			if r.leads == nil || r.leads[cand.req.Workload] != leadInFlight {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Every queued cell is holding for a lead recording; a
+			// dispatch completion (or the run dying) wakes us.
 			c.cond.Wait()
 			continue
 		}
-		cl := r.queue[0]
+		cl := r.queue[idx]
 		w := c.pickWorkerLocked(cl.tried, time.Now())
 		if w == nil {
 			if c.allOpenLocked() && r.inflight == 0 {
@@ -207,7 +236,14 @@ func (r *Run) loop() {
 			c.cond.Wait()
 			continue
 		}
-		r.queue = r.queue[1:]
+		r.queue = append(r.queue[:idx], r.queue[idx+1:]...)
+		if r.leads != nil && r.leads[cl.req.Workload] == leadNone {
+			// First dispatch of this workload: elect the cell as its
+			// trace-recording lead. Siblings queue behind it until the
+			// lead resolves, then fan out against the shared trace.
+			cl.lead = true
+			r.leads[cl.req.Workload] = leadInFlight
+		}
 		cl.attempts++
 		if cl.tried == nil {
 			cl.tried = make(map[*worker]bool, len(c.workers))
@@ -284,6 +320,24 @@ func (r *Run) finishLocked() {
 	close(r.done)
 }
 
+// releaseLeadLocked resolves a workload's trace-recording election
+// when its lead cell comes off the wire. A successful lead proves the
+// worker holds (and, with an artifact peer, has shared) the workload's
+// trace, so siblings fan out; any other outcome re-opens the election
+// — the next cell of the workload to dispatch becomes the new lead.
+// Requires c.mu. The caller's Broadcast wakes the holding siblings.
+func (r *Run) releaseLeadLocked(cl *cell, recorded bool) {
+	if !cl.lead {
+		return
+	}
+	cl.lead = false
+	if recorded {
+		r.leads[cl.req.Workload] = leadDone
+	} else {
+		r.leads[cl.req.Workload] = leadNone
+	}
+}
+
 // dispatchOutcome classifies one dispatch round trip.
 type dispatchOutcome int
 
@@ -312,6 +366,7 @@ func (r *Run) dispatch(cl *cell, w *worker) {
 	c.mu.Lock()
 	w.inflight--
 	r.inflight--
+	r.releaseLeadLocked(cl, outcome == outcomeOK)
 	switch outcome {
 	case outcomeOK:
 		w.completed.Add(1)

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"eole"
+	"eole/internal/simsvc"
+)
+
+// gatedWorker is a stub eoled that checks the ShareTraces scheduling
+// invariant from the worker's side: no sibling cell of a workload may
+// arrive before the first cell of that workload has completed.
+type gatedWorker struct {
+	srv *httptest.Server
+
+	mu         sync.Mutex
+	started    map[string]int
+	completed  map[string]int
+	violations []string
+}
+
+func newGatedWorker(t *testing.T, simDelay time.Duration, failFirst bool) *gatedWorker {
+	t.Helper()
+	gw := &gatedWorker{started: make(map[string]int), completed: make(map[string]int)}
+	var calls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(Health{Status: "ok", Version: "stub"})
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req simulateWire
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		gw.mu.Lock()
+		calls++
+		call := calls
+		if gw.started[req.Workload] > 0 && gw.completed[req.Workload] == 0 {
+			gw.violations = append(gw.violations,
+				"sibling of "+req.Workload+" dispatched before its lead completed")
+		}
+		gw.started[req.Workload]++
+		gw.mu.Unlock()
+
+		if failFirst && call == 1 {
+			// The elected lead dies; the coordinator must re-elect
+			// instead of parking the workload's siblings forever. The
+			// aborted attempt never ran, so it does not count as a
+			// start for the invariant (its retry is a fresh election).
+			gw.mu.Lock()
+			gw.started[req.Workload]--
+			gw.mu.Unlock()
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		time.Sleep(simDelay) // window in which a mis-scheduled sibling would land
+
+		gw.mu.Lock()
+		gw.completed[req.Workload]++
+		gw.mu.Unlock()
+		json.NewEncoder(w).Encode(&eole.Report{
+			Config:    req.Config.Label(),
+			Benchmark: req.Workload,
+			Cycles:    req.Measure,
+			Committed: req.Measure,
+			IPC:       1.0,
+		})
+	})
+	gw.srv = httptest.NewServer(mux)
+	t.Cleanup(gw.srv.Close)
+	return gw
+}
+
+// TestShareTracesSerializesWorkloadLeads: with ShareTraces on, the
+// first cell of each workload runs alone; siblings only dispatch after
+// it completes, then fan out freely.
+func TestShareTracesSerializesWorkloadLeads(t *testing.T) {
+	gw := newGatedWorker(t, 30*time.Millisecond, false)
+	c := testCoordinator(t, Options{
+		Workers:     []string{gw.srv.URL},
+		ShareTraces: true,
+		MaxInFlight: 8,
+	})
+
+	cfgA := namedConfig(t, "EOLE_4_64")
+	cfgB := namedConfig(t, "Baseline_6_64")
+	cfgC := namedConfig(t, "Baseline_VP_6_64")
+	reqs := []simsvc.Request{
+		req(cfgA, "gzip"), req(cfgB, "gzip"), req(cfgC, "gzip"),
+		req(cfgA, "crafty"), req(cfgB, "crafty"), req(cfgC, "crafty"),
+	}
+	reports, err := c.Sweep(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(reqs) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(reqs))
+	}
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	for _, v := range gw.violations {
+		t.Error(v)
+	}
+	for _, wl := range []string{"gzip", "crafty"} {
+		if gw.completed[wl] != 3 {
+			t.Errorf("%s: %d cells completed, want 3", wl, gw.completed[wl])
+		}
+	}
+}
+
+// TestShareTracesLeadFailureReelects: the lead's dispatch failing must
+// release the workload for re-election — the sweep still completes and
+// the gating invariant holds across the retry.
+func TestShareTracesLeadFailureReelects(t *testing.T) {
+	gw := newGatedWorker(t, 10*time.Millisecond, true)
+	c := testCoordinator(t, Options{
+		Workers:     []string{gw.srv.URL},
+		ShareTraces: true,
+		MaxInFlight: 8,
+	})
+
+	cfgA := namedConfig(t, "EOLE_4_64")
+	cfgB := namedConfig(t, "Baseline_6_64")
+	reports, err := c.Sweep(context.Background(), []simsvc.Request{
+		req(cfgA, "gzip"), req(cfgB, "gzip"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0] == nil || reports[1] == nil {
+		t.Fatalf("sweep did not complete after lead failure: %v", reports)
+	}
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	// The failed lead attempt counts as started-but-never-completed;
+	// its retry is a fresh election, not a violation.
+	for _, v := range gw.violations {
+		t.Error(v)
+	}
+}

@@ -1,56 +1,39 @@
 package simsvc
 
 import (
+	"context"
 	"encoding/json"
-	"os"
-	"path/filepath"
 	"sync"
-	"time"
 
 	"eole"
+	"eole/internal/artifact"
 )
 
-// resultCache is the content-addressed report store: a bounded
-// in-memory map always, plus an optional JSON spill directory that
-// persists results across processes. Reports are immutable once
-// published, so they are shared by pointer without copying.
+// resultCache is the content-addressed report store: a bounded typed
+// in-memory map always, plus an optional artifact-fabric store that
+// persists results across processes (and, with a peer configured,
+// across the cluster). Reports are immutable once published, so they
+// are shared by pointer without copying.
 //
 // The memory side is capped at max entries with FIFO eviction —
-// results are content-addressed and re-creatable (from disk or by
-// re-simulating), so eviction never loses correctness, only warmth.
-// This keeps a long-running server bounded even when clients submit
-// unboundedly many distinct (warmup, measure) tuples.
+// results are content-addressed and re-creatable (from the fabric or
+// by re-simulating), so eviction never loses correctness, only
+// warmth. This keeps a long-running server bounded even when clients
+// submit unboundedly many distinct (warmup, measure) tuples.
 type resultCache struct {
 	mu    sync.RWMutex
 	mem   map[Key]*eole.Report
 	order []Key // insertion order, for FIFO eviction
 	max   int
-	dir   string // "" = memory only
+	store *artifact.Store // nil = memory only
 }
 
-func newResultCache(dir string, max int) *resultCache {
-	return &resultCache{mem: make(map[Key]*eole.Report), max: max, dir: dir}
-}
-
-// ensureDir creates the spill directory if it does not exist and
-// sweeps tmp files orphaned by interrupted spills in earlier runs. The
-// age gate keeps the sweep from deleting a temp file another live
-// process is about to rename — spills take milliseconds, not hours.
-func ensureDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	orphans, _ := filepath.Glob(filepath.Join(dir, "tmp-*.json"))
-	for _, f := range orphans {
-		if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > time.Hour {
-			os.Remove(f)
-		}
-	}
-	return nil
+func newResultCache(store *artifact.Store, max int) *resultCache {
+	return &resultCache{mem: make(map[Key]*eole.Report), max: max, store: store}
 }
 
 // getMem returns the in-memory report for key, if any. It takes only
-// the cache's own lock and never touches the disk, so it is safe to
+// the cache's own lock and never touches the fabric, so it is safe to
 // call under the service mutex.
 func (c *resultCache) getMem(key Key) *eole.Report {
 	c.mu.RLock()
@@ -58,21 +41,22 @@ func (c *resultCache) getMem(key Key) *eole.Report {
 	return c.mem[key]
 }
 
-// getDisk loads key from the spill directory and promotes it to
-// memory. It performs file I/O — callers must not hold the service
-// mutex.
-func (c *resultCache) getDisk(key Key) *eole.Report {
-	if c.dir == "" {
+// getStore loads key from the artifact fabric (its memory tier, the
+// disk, or a peer) and promotes it to the typed map. It can perform
+// file and network I/O — callers must not hold the service mutex. A
+// fabric payload that fails to decode is a miss: the only way JSON
+// that passed the fabric's CRC can be undecodable is a schema change,
+// and schemaVersion in the key already isolates those.
+func (c *resultCache) getStore(ctx context.Context, key Key) *eole.Report {
+	if c.store == nil {
 		return nil
 	}
-	b, err := os.ReadFile(c.path(key))
+	b, err := c.store.Get(ctx, artifact.KindResult, key.String())
 	if err != nil {
 		return nil
 	}
 	var rep eole.Report
 	if err := json.Unmarshal(b, &rep); err != nil {
-		// A corrupt spill file is treated as a miss; the slot is
-		// rewritten after the re-simulation.
 		return nil
 	}
 	c.putMem(key, &rep)
@@ -95,37 +79,22 @@ func (c *resultCache) putMem(key Key, r *eole.Report) {
 	}
 }
 
-// spillDisk writes a report to the spill directory. Best-effort: a
-// full or read-only directory degrades the cache to memory-only rather
-// than failing the simulation that produced the report. Callers run it
-// after completing waiters — file I/O must not delay them.
-func (c *resultCache) spillDisk(key Key, r *eole.Report) {
-	if c.dir == "" {
+// spill writes a report to the artifact fabric and shares it with the
+// peer when one is configured, so a fresh result warms the whole
+// fleet. Best-effort: a full or read-only disk degrades the cache to
+// memory-only rather than failing the simulation that produced the
+// report. Callers run it after completing waiters — I/O must not
+// delay them.
+func (c *resultCache) spill(ctx context.Context, key Key, r *eole.Report) {
+	if c.store == nil {
 		return
 	}
 	b, err := json.Marshal(r)
 	if err != nil {
 		return
 	}
-	// Write-then-rename keeps concurrent readers from observing a
-	// partial file.
-	tmp, err := os.CreateTemp(c.dir, "tmp-*.json")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, c.path(key)); err != nil {
-		os.Remove(name)
-	}
+	_ = c.store.Put(artifact.KindResult, key.String(), b)
+	c.store.Share(ctx, artifact.KindResult, key.String(), b)
 }
 
 // len returns the number of in-memory entries.
@@ -133,8 +102,4 @@ func (c *resultCache) len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.mem)
-}
-
-func (c *resultCache) path(key Key) string {
-	return filepath.Join(c.dir, key.String()+".json")
 }

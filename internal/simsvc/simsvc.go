@@ -7,10 +7,11 @@
 // Because the simulator is deterministic, results are content
 // addressed: a request is hashed (see KeyOf) and repeated submissions
 // of the same request are answered from cache, including across
-// processes when a spill directory is configured. Identical requests
-// that are in flight at the same time are coalesced into a single
-// simulation (single-flight), so a sweep that includes the same
-// baseline column ten times still simulates it once.
+// processes — and, with a peer configured, across a cluster — when an
+// artifact store (internal/artifact) backs the service. Identical
+// requests that are in flight at the same time are coalesced into a
+// single simulation (single-flight), so a sweep that includes the
+// same baseline column ten times still simulates it once.
 package simsvc
 
 import (
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"eole"
+	"eole/internal/artifact"
 	"eole/internal/obs"
 )
 
@@ -74,12 +76,27 @@ type Options struct {
 	QueueDepth int
 	// CacheEntries bounds the in-memory result cache (0 = 16384,
 	// negative = unbounded). The oldest entry is evicted when full;
-	// evicted results reload from CacheDir if configured.
+	// evicted results reload from the artifact store if one backs the
+	// service.
 	CacheEntries int
-	// CacheDir, when set, spills results to <dir>/<key>.json and
-	// reloads them in later processes. The directory is created if
-	// missing.
+	// CacheDir, when set, spills results to disk under that directory
+	// and reloads them in later processes. It is a legacy alias for an
+	// ArtifactDir result-kind override: the files use the artifact
+	// fabric's sharded layout, and pre-fabric flat <key>.json files are
+	// ignored. Ignored when Artifacts is injected.
 	CacheDir string
+
+	// ArtifactDir, when set, roots a persistent artifact fabric
+	// (internal/artifact) holding both result and trace spills:
+	// results under <dir>/result, traces under <dir>/trace. Implies
+	// Traces. Ignored when Artifacts is injected.
+	ArtifactDir string
+	// Artifacts, when non-nil, is the artifact store backing the
+	// result and trace spills — injected by serving layers (eoled)
+	// that share one store between the service and their HTTP
+	// /v1/artifacts endpoint. Overrides ArtifactDir, CacheDir and
+	// TraceDir.
+	Artifacts *artifact.Store
 
 	// Traces enables trace-driven simulation: the committed µ-op
 	// stream of each workload is recorded once (on the first cache
@@ -89,10 +106,11 @@ type Options struct {
 	// so cached results are unaffected. Recording is single-flight
 	// per workload across concurrent jobs.
 	Traces bool
-	// TraceDir, when set, spills recordings to <dir>/<workload>.trace
-	// and reloads them in later processes (implies Traces). Invalid or
-	// version-mismatched files fall back to execute-driven recording.
-	// The directory is created if missing.
+	// TraceDir, when set, spills recordings to disk under that
+	// directory and reloads them in later processes (implies Traces).
+	// Like CacheDir it is a legacy alias for an ArtifactDir trace-kind
+	// override; invalid or version-mismatched artifacts fall back to
+	// execute-driven recording. Ignored when Artifacts is injected.
 	TraceDir string
 	// TraceMaxOps bounds the recorded trace length in µ-ops
 	// (0 = 1M). Requests needing longer traces run execute-driven.
@@ -207,6 +225,7 @@ type task struct {
 // content-addressed caching. Create with New, release with Close.
 type Service struct {
 	opts   Options
+	store  *artifact.Store // nil when the service is memory-only
 	cache  *resultCache
 	traces *traceStore // nil when trace-driven simulation is disabled
 	m      metrics
@@ -235,27 +254,35 @@ func New(opts Options) (*Service, error) {
 	if opts.CacheEntries == 0 {
 		opts.CacheEntries = 16384
 	}
-	if opts.CacheDir != "" {
-		if err := ensureDir(opts.CacheDir); err != nil {
-			return nil, fmt.Errorf("simsvc: cache dir: %w", err)
-		}
-	}
 	if opts.TraceMaxOps == 0 {
 		opts.TraceMaxOps = 1 << 20
 	}
-	if opts.TraceDir != "" {
+	if opts.TraceDir != "" || opts.ArtifactDir != "" {
 		opts.Traces = true
-		if err := ensureDir(opts.TraceDir); err != nil {
-			return nil, fmt.Errorf("simsvc: trace dir: %w", err)
-		}
 	}
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	store := opts.Artifacts
+	if store == nil && (opts.ArtifactDir != "" || opts.CacheDir != "" || opts.TraceDir != "") {
+		var err error
+		store, err = artifact.Open(artifact.Options{
+			Dir: opts.ArtifactDir,
+			KindDirs: map[artifact.Kind]string{
+				artifact.KindResult: opts.CacheDir,
+				artifact.KindTrace:  opts.TraceDir,
+			},
+			Logger: opts.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simsvc: artifact store: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		opts:     opts,
-		cache:    newResultCache(opts.CacheDir, opts.CacheEntries),
+		store:    store,
+		cache:    newResultCache(store, opts.CacheEntries),
 		log:      opts.Logger,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -263,7 +290,7 @@ func New(opts Options) (*Service, error) {
 		inflight: make(map[Key]*task),
 	}
 	if opts.Traces {
-		s.traces = newTraceStore(opts.TraceDir, opts.TraceMaxOps, &s.m)
+		s.traces = newTraceStore(store, opts.TraceMaxOps, &s.m)
 	}
 	for i := 0; i < opts.Parallelism; i++ {
 		s.wg.Add(1)
@@ -317,11 +344,11 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 	s.mu.Unlock()
 	defer s.senders.Done()
 
-	// Probe the spill directory outside the lock — disk I/O must not
-	// stall other Submits or job completions. The task is already
-	// registered, so concurrent identical Submits coalesce onto it and
-	// are resolved by the detach below.
-	if r := s.cache.getDisk(key); r != nil {
+	// Probe the artifact fabric outside the lock — disk and peer I/O
+	// must not stall other Submits or job completions. The task is
+	// already registered, so concurrent identical Submits coalesce onto
+	// it and are resolved by the detach below.
+	if r := s.cache.getStore(ctx, key); r != nil {
 		s.m.cacheHits.Add(1)
 		s.m.diskHits.Add(1)
 		for _, jb := range s.detach(t) {
@@ -493,6 +520,11 @@ func (s *Service) FreeToServeKey(key Key) bool {
 // Parallelism returns the resolved worker count.
 func (s *Service) Parallelism() int { return s.opts.Parallelism }
 
+// Artifacts returns the artifact store backing the service's result
+// and trace spills, or nil when the service is memory-only. Serving
+// layers use it to expose the store over HTTP and in metrics.
+func (s *Service) Artifacts() *artifact.Store { return s.store }
+
 // Close gracefully shuts the service down: no new submissions are
 // accepted, queued-but-unstarted jobs complete with ErrClosed, running
 // simulations finish, and the workers exit. Close is idempotent.
@@ -630,9 +662,11 @@ func (s *Service) run(t *task) {
 		"ipc", r.IPC, "request_ids", ids)
 	// Publish to the memory cache before detaching: a concurrent
 	// Submit holds s.mu while it checks the cache and then the
-	// inflight set, so it observes at least one of the two. The disk
-	// spill happens after waiters are released — file I/O must not
-	// delay them.
+	// inflight set, so it observes at least one of the two. The fabric
+	// spill happens after waiters are released — file and peer I/O
+	// must not delay them. The spill gets its own bounded context: the
+	// waiters' contexts may already be dead, and a wedged peer must
+	// not pin the worker.
 	s.cache.putMem(t.key, r)
 	for i, j := range s.detach(t) {
 		s.m.completed.Add(1)
@@ -640,7 +674,9 @@ func (s *Service) run(t *task) {
 		// were coalesced onto it and count as cache-equivalent hits.
 		j.complete(r, nil, i > 0)
 	}
-	s.cache.spillDisk(t.key, r)
+	spillCtx, cancelSpill := context.WithTimeout(context.Background(), 30*time.Second)
+	s.cache.spill(spillCtx, t.key, r)
+	cancelSpill()
 }
 
 // waiterPollInterval is how often a running task re-checks that
@@ -748,7 +784,7 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 	// Resolve the trace before starting the simulation clock: recording
 	// (or waiting on another job's single-flight recording) is
 	// accounted separately in TraceRecordTime, not in SimWallTime.
-	t := s.traceSource(w, req)
+	t := s.traceSource(ctx, w, req)
 	// Sampled requests run the sampler instead of a full detailed
 	// region (eole.WithSampling); the option composes with replay.
 	var extra []eole.SimOption

@@ -1,13 +1,17 @@
 package simsvc
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/bits"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"eole/internal/artifact"
 	"eole/internal/sample"
 	"eole/internal/trace"
 	"eole/internal/workload"
@@ -25,14 +29,17 @@ import (
 // a longer request triggers a longer re-recording that replaces the
 // shorter one.
 //
-// With a directory configured, recordings spill to <dir>/<short>.trace
-// and are reloaded by later processes. Corrupted, truncated or
-// version-mismatched files are ignored (counted in the service
-// metrics) and overwritten by a fresh recording — the caller falls
+// With an artifact store configured, recordings persist under the
+// TraceKeyOf content address, reloadable by later processes — and,
+// when the store has a peer, fetchable by the whole cluster, so a
+// workload is interpreted once fleet-wide. Corrupted, truncated or
+// version-mismatched artifacts are ignored (counted in the service
+// metrics; footer-level corruption is quarantined by the fabric
+// itself) and overwritten by a fresh recording — the caller falls
 // back to execute-driven recording, never to a wrong stream.
 type traceStore struct {
-	dir    string // "" = memory only
-	maxOps uint64 // requests needing more µ-ops fall back to execute-driven
+	store  *artifact.Store // nil = memory only
+	maxOps uint64          // requests needing more µ-ops fall back to execute-driven
 	m      *metrics
 
 	mu  sync.Mutex
@@ -47,14 +54,27 @@ type recording struct {
 	err  error
 }
 
-func newTraceStore(dir string, maxOps uint64, m *metrics) *traceStore {
+func newTraceStore(store *artifact.Store, maxOps uint64, m *metrics) *traceStore {
 	return &traceStore{
-		dir:    dir,
+		store:  store,
 		maxOps: maxOps,
 		m:      m,
 		mem:    make(map[string]*trace.Trace),
 		rec:    make(map[string]*recording),
 	}
+}
+
+// TraceKeyOf is the artifact-fabric content address of workload w's
+// recorded trace: a SHA-256 over the trace format version, the
+// workload's short name and its program hash. Folding the format
+// version and program hash into the key means a store shared by
+// mixed builds can never hand a worker a trace its decoder or its
+// program disagrees with — each build addresses its own artifact.
+// (The trace payload additionally self-validates both on load.)
+func TraceKeyOf(w workload.Workload) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "eole-trace\x00v%d\x00%s\x00%016x",
+		trace.Version, w.Short, trace.ProgramHash(w.Program)))
+	return hex.EncodeToString(h[:])
 }
 
 // roundUpOps pads a needed trace length to the next power of two (at
@@ -72,8 +92,9 @@ func roundUpOps(need uint64) uint64 {
 // traceFor returns a trace able to serve a run that fetches up to
 // need µ-ops of w, recording one if necessary. It returns an error
 // when need exceeds the store's ceiling (the caller simulates
-// execute-driven) — never a too-short trace.
-func (ts *traceStore) traceFor(w workload.Workload, need uint64) (*trace.Trace, error) {
+// execute-driven) — never a too-short trace. ctx bounds the artifact
+// peer fetch, not the recording itself.
+func (ts *traceStore) traceFor(ctx context.Context, w workload.Workload, need uint64) (*trace.Trace, error) {
 	if ts.maxOps > 0 && need > ts.maxOps {
 		return nil, fmt.Errorf("simsvc: trace of %d µ-ops exceeds ceiling %d", need, ts.maxOps)
 	}
@@ -97,7 +118,7 @@ func (ts *traceStore) traceFor(w workload.Workload, need uint64) (*trace.Trace, 
 		ts.rec[w.Short] = r
 		ts.mu.Unlock()
 
-		r.t, r.err = ts.record(w, need)
+		r.t, r.err = ts.record(ctx, w, need)
 		ts.mu.Lock()
 		if r.err == nil {
 			if old := ts.mem[w.Short]; old == nil || r.t.CanServe(old.Count) {
@@ -116,11 +137,11 @@ func (ts *traceStore) traceFor(w workload.Workload, need uint64) (*trace.Trace, 
 	}
 }
 
-// record loads a long-enough trace from the spill directory or records
-// a fresh one (and spills it). Called outside the store lock — both
-// paths are expensive.
-func (ts *traceStore) record(w workload.Workload, need uint64) (*trace.Trace, error) {
-	if t := ts.loadDisk(w, need); t != nil {
+// record loads a long-enough trace from the artifact fabric or
+// records a fresh one (and persists it). Called outside the store
+// lock — both paths are expensive.
+func (ts *traceStore) record(ctx context.Context, w workload.Workload, need uint64) (*trace.Trace, error) {
+	if t := ts.load(ctx, w, need); t != nil {
 		return t, nil
 	}
 	n := roundUpOps(need)
@@ -131,25 +152,27 @@ func (ts *traceStore) record(w workload.Workload, need uint64) (*trace.Trace, er
 	t := trace.Record(w, n)
 	ts.m.tracesRecorded.Add(1)
 	ts.m.traceRecordNanos.Add(int64(time.Since(start)))
-	ts.spillDisk(t)
+	ts.spill(t, w)
 	return t, nil
 }
 
-// loadDisk returns the spilled trace for w if it exists, validates,
-// matches the workload's current program and is long enough; any
-// failure is a miss (the fresh recording overwrites the file).
-func (ts *traceStore) loadDisk(w workload.Workload, need uint64) *trace.Trace {
-	if ts.dir == "" {
+// load returns the persisted trace for w if the fabric holds one that
+// validates, matches the workload's current program and is long
+// enough; any failure is a miss (the fresh recording overwrites the
+// artifact).
+func (ts *traceStore) load(ctx context.Context, w workload.Workload, need uint64) *trace.Trace {
+	if ts.store == nil {
 		return nil
 	}
-	path := trace.Path(ts.dir, w.Short)
-	if _, err := os.Stat(path); err != nil {
-		return nil // never spilled; not a load error
-	}
-	t, err := trace.ReadFile(path)
+	b, err := ts.store.Get(ctx, artifact.KindTrace, TraceKeyOf(w))
 	if err != nil {
-		// Corrupt, truncated or version-mismatched spill: fall back to
-		// execute-driven recording.
+		return nil // never stored (or quarantined by the fabric); not a load error
+	}
+	t, err := trace.Read(bytes.NewReader(b))
+	if err != nil {
+		// Corrupt, truncated or version-mismatched payload that still
+		// passed the fabric's footer CRC: fall back to execute-driven
+		// recording.
 		ts.m.traceLoadErrors.Add(1)
 		return nil
 	}
@@ -165,13 +188,25 @@ func (ts *traceStore) loadDisk(w workload.Workload, need uint64) *trace.Trace {
 	return t
 }
 
-// spillDisk persists a recording, best-effort (a read-only or full
-// directory degrades the store to memory-only).
-func (ts *traceStore) spillDisk(t *trace.Trace) {
-	if ts.dir == "" {
+// spill persists a recording to the fabric and shares it with the
+// peer (the cluster coordinator, for workers) so the rest of the
+// fleet replays instead of re-recording. Best-effort: a read-only or
+// full store degrades to memory-only.
+func (ts *traceStore) spill(t *trace.Trace, w workload.Workload) {
+	if ts.store == nil {
 		return
 	}
-	_ = trace.WriteFile(trace.Path(ts.dir, t.Workload), t)
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return
+	}
+	key := TraceKeyOf(w)
+	_ = ts.store.Put(artifact.KindTrace, key, buf.Bytes())
+	// The push is bounded on its own context: the recording job must
+	// not hang on a wedged coordinator.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ts.store.Share(ctx, artifact.KindTrace, key, buf.Bytes())
 }
 
 // TraceInfo describes one stored trace (the /v1/traces wire form).
@@ -245,8 +280,9 @@ func replayNeed(req Request) uint64 {
 
 // traceSource resolves a replay trace for req, or nil to simulate
 // execute-driven (trace disabled, request over the ceiling, or a
-// recording problem — all counted as fallbacks except plain disabled).
-func (s *Service) traceSource(w workload.Workload, req Request) *trace.Trace {
+// recording problem — all counted as fallbacks except plain
+// disabled). ctx bounds the artifact peer fetch.
+func (s *Service) traceSource(ctx context.Context, w workload.Workload, req Request) *trace.Trace {
 	if s.traces == nil {
 		return nil
 	}
@@ -255,7 +291,7 @@ func (s *Service) traceSource(w workload.Workload, req Request) *trace.Trace {
 		s.m.traceFallbacks.Add(1)
 		return nil
 	}
-	t, err := s.traces.traceFor(w, need)
+	t, err := s.traces.traceFor(ctx, w, need)
 	if err != nil {
 		s.m.traceFallbacks.Add(1)
 		return nil

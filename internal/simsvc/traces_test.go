@@ -12,15 +12,46 @@ import (
 	"testing"
 
 	"eole"
+	"eole/internal/artifact"
 	"eole/internal/trace"
 	"eole/internal/workload"
 )
 
-// fixCRC rewrites the trailing CRC-32 of a raw trace file so that a
-// deliberate header mutation is not (also) rejected as corruption.
+// fixCRC rewrites the trailing CRC-32 of a raw trace payload so that
+// a deliberate header mutation is not (also) rejected as corruption.
 func fixCRC(raw []byte) {
 	body := raw[:len(raw)-4]
 	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(body))
+}
+
+// traceArtifactPath is where the fabric stores the trace of the named
+// workload under dir: <dir>/<shard>/<key>.art.
+func traceArtifactPath(t *testing.T, dir, name string) string {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKeyOf(w)
+	return filepath.Join(dir, key[:2], key+".art")
+}
+
+// corruptPayload flips one payload byte of an artifact file while
+// keeping the fabric footer valid — i.e. payload-level corruption the
+// fabric's CRC cannot catch, only the trace decoder can.
+func corruptPayload(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const footer = 16 // crc32 LE(4) + length LE(8) + magic(4)
+	payload := raw[:len(raw)-footer]
+	payload[len(payload)/2] ^= 0xFF
+	binary.LittleEndian.PutUint32(raw[len(raw)-footer:], crc32.ChecksumIEEE(payload))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func newTraceService(t *testing.T, opts Options) *Service {
@@ -195,7 +226,7 @@ func TestTraceOverCeilingFallsBack(t *testing.T) {
 }
 
 // TestTraceDirPersistsAcrossServices records through one service and
-// checks a second service replays from the spilled file without
+// checks a second service replays from the spilled artifact without
 // re-recording.
 func TestTraceDirPersistsAcrossServices(t *testing.T) {
 	dir := t.TempDir()
@@ -206,8 +237,8 @@ func TestTraceDirPersistsAcrossServices(t *testing.T) {
 	if st := a.Stats(); st.TracesRecorded != 1 {
 		t.Fatalf("first service recorded %d traces", st.TracesRecorded)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "crafty.trace")); err != nil {
-		t.Fatalf("spill file missing: %v", err)
+	if _, err := os.Stat(traceArtifactPath(t, dir, "crafty")); err != nil {
+		t.Fatalf("spill artifact missing: %v", err)
 	}
 
 	b := newTraceService(t, Options{Parallelism: 2, TraceDir: dir})
@@ -224,9 +255,42 @@ func TestTraceDirPersistsAcrossServices(t *testing.T) {
 	}
 }
 
-// TestCorruptTraceFileFallsBack corrupts the spilled trace and checks
-// the next service ignores it, re-records, and still returns correct
-// results.
+// TestArtifactDirPersistsBothKinds runs one service rooted at a
+// single -artifact-dir and checks both spill kinds land under it —
+// and that a second service over the same root serves the result from
+// disk without simulating at all.
+func TestArtifactDirPersistsBothKinds(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Config: mustConfig(t, "EOLE_6_64"), Workload: "gzip", Warmup: 1_000, Measure: 4_000}
+
+	a := newTraceService(t, Options{Parallelism: 2, ArtifactDir: dir})
+	want := submitWait(t, a, req)
+	if _, err := os.Stat(traceArtifactPath(t, filepath.Join(dir, "trace"), "gzip")); err != nil {
+		t.Fatalf("trace artifact missing: %v", err)
+	}
+	key := KeyOf(req).String()
+	if _, err := os.Stat(filepath.Join(dir, "result", key[:2], key+".art")); err != nil {
+		t.Fatalf("result artifact missing: %v", err)
+	}
+
+	b := newTraceService(t, Options{Parallelism: 2, ArtifactDir: dir})
+	got := submitWait(t, b, req)
+	st := b.Stats()
+	if st.SimsRun != 0 || st.DiskHits != 1 {
+		t.Errorf("second service simsRun=%d diskHits=%d, want 0/1 (result served from fabric)",
+			st.SimsRun, st.DiskHits)
+	}
+	bw, _ := json.Marshal(want)
+	bg, _ := json.Marshal(got)
+	if !bytes.Equal(bw, bg) {
+		t.Error("fabric-served report differs")
+	}
+}
+
+// TestCorruptTraceFileFallsBack corrupts the spilled trace at the
+// payload level — the fabric footer still validates, only the trace
+// decoder can tell — and checks the next service counts a load error,
+// re-records, and still returns correct results.
 func TestCorruptTraceFileFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	req := Request{Config: mustConfig(t, "Baseline_6_64"), Workload: "gzip", Warmup: 1_000, Measure: 4_000}
@@ -234,15 +298,8 @@ func TestCorruptTraceFileFallsBack(t *testing.T) {
 	a := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
 	want := submitWait(t, a, req)
 
-	path := filepath.Join(dir, "gzip.trace")
-	b, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b[len(b)/2] ^= 0xFF
-	if err := os.WriteFile(path, b, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	path := traceArtifactPath(t, dir, "gzip")
+	corruptPayload(t, path)
 
 	c := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
 	got := submitWait(t, c, req)
@@ -259,14 +316,53 @@ func TestCorruptTraceFileFallsBack(t *testing.T) {
 	if !bytes.Equal(bw, bg) {
 		t.Error("report differs after corrupt-trace recovery")
 	}
-	// The re-recording must have replaced the corrupt file.
-	if f, err := os.Open(path); err == nil {
-		defer f.Close()
-		if _, err := trace.Read(f); err != nil {
-			t.Errorf("spill not repaired: %v", err)
-		}
-	} else {
-		t.Errorf("spill file missing after repair: %v", err)
+	// The re-recording must have replaced the corrupt artifact: a
+	// fresh service replays from it without recording.
+	d := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	submitWait(t, d, req)
+	if st := d.Stats(); st.TraceDiskLoads != 1 || st.TracesRecorded != 0 || st.TraceLoadErrors != 0 {
+		t.Errorf("after repair: diskLoads=%d recorded=%d loadErrors=%d, want 1/0/0", st.TraceDiskLoads, st.TracesRecorded, st.TraceLoadErrors)
+	}
+}
+
+// TestQuarantinedTraceReRecorded corrupts the spilled trace at the
+// fabric level — the footer CRC no longer matches — and checks the
+// fabric quarantines the file (a plain miss, not a trace load error)
+// and the service re-records.
+func TestQuarantinedTraceReRecorded(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Config: mustConfig(t, "Baseline_6_64"), Workload: "gzip", Warmup: 1_000, Measure: 4_000}
+
+	a := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	want := submitWait(t, a, req)
+
+	path := traceArtifactPath(t, dir, "gzip")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF // footer CRC now fails: fabric-level corruption
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTraceService(t, Options{Parallelism: 1, TraceDir: dir})
+	got := submitWait(t, c, req)
+	st := c.Stats()
+	if st.TraceLoadErrors != 0 {
+		t.Errorf("load errors %d, want 0 (fabric-level corruption is a plain miss)", st.TraceLoadErrors)
+	}
+	if st.TracesRecorded != 1 || st.TraceReplays != 1 {
+		t.Errorf("recorded=%d replays=%d, want 1/1", st.TracesRecorded, st.TraceReplays)
+	}
+	bw, _ := json.Marshal(want)
+	bg, _ := json.Marshal(got)
+	if !bytes.Equal(bw, bg) {
+		t.Error("report differs after quarantine recovery")
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.corrupt"))
+	if len(quarantined) == 0 {
+		t.Error("corrupt artifact was not quarantined")
 	}
 }
 
@@ -287,7 +383,14 @@ func TestVersionMismatchedTraceFallsBack(t *testing.T) {
 	raw[4]++ // version uvarint sits after the 4-byte magic
 	// Fix the checksum so ONLY the version differs.
 	fixCRC(raw)
-	if err := os.WriteFile(filepath.Join(dir, "gzip.trace"), raw, 0o644); err != nil {
+	// Store it under the CURRENT version's content address, with a
+	// valid fabric footer — the scenario where a buggy or hostile
+	// writer planted a payload the decoder rejects.
+	store, err := artifact.Open(artifact.Options{KindDirs: map[artifact.Kind]string{artifact.KindTrace: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(artifact.KindTrace, TraceKeyOf(w), raw); err != nil {
 		t.Fatal(err)
 	}
 
