@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ctlConfig is the profile file: named server profiles plus which one
+// is current. Kept deliberately tiny — a profile is just a server URL
+// today, but it is a struct so later fields (auth tokens, default
+// output) extend the file instead of replacing it.
+type ctlConfig struct {
+	Current  string             `json:"current,omitempty"`
+	Profiles map[string]profile `json:"profiles,omitempty"`
+}
+
+type profile struct {
+	Server string `json:"server"`
+}
+
+// defaultConfigPath honors $EOLECTL_CONFIG (which tests and scripted
+// use set), else the XDG-ish ~/.config/eolectl/config.json.
+func defaultConfigPath() string {
+	if p := os.Getenv("EOLECTL_CONFIG"); p != "" {
+		return p
+	}
+	home, err := os.UserHomeDir()
+	if err != nil {
+		return "eolectl.json"
+	}
+	return filepath.Join(home, ".config", "eolectl", "config.json")
+}
+
+// loadConfig reads the profile file; a missing file is an empty
+// config, not an error, so first-run UX is "configure" rather than
+// "create this file by hand".
+func loadConfig(path string) (ctlConfig, error) {
+	var cfg ctlConfig
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cfg, nil
+	}
+	if err != nil {
+		return cfg, fmt.Errorf("read config: %w", err)
+	}
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return cfg, fmt.Errorf("parse config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func saveConfig(path string, cfg ctlConfig) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("save config: %w", err)
+	}
+	b, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	// Write-then-rename so a crash mid-write cannot truncate the
+	// existing profile file.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o600); err != nil {
+		return fmt.Errorf("save config: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("save config: %w", err)
+	}
+	return nil
+}
+
+func profileNames(cfg ctlConfig) string {
+	if len(cfg.Profiles) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(cfg.Profiles))
+	for n := range cfg.Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// cmdConfigure saves, switches, or lists server profiles.
+//
+//	eolectl configure -server URL [-profile NAME]   save + make current
+//	eolectl configure -use NAME                     switch current
+//	eolectl configure -list                         print the table
+func cmdConfigure(g *globalOpts, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("configure", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "", "server URL to save")
+	name := fs.String("profile", "default", "profile name to save under")
+	use := fs.String("use", "", "switch the current profile")
+	list := fs.Bool("list", false, "list profiles")
+	if err := fs.Parse(args); err != nil {
+		return usagef("configure: %v", err)
+	}
+	if fs.NArg() > 0 {
+		return usagef("configure: unexpected argument %q", fs.Arg(0))
+	}
+	cfg, err := loadConfig(g.configPath)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *list:
+		return renderProfiles(stdout, g.output, cfg)
+	case *use != "":
+		if _, ok := cfg.Profiles[*use]; !ok {
+			return fmt.Errorf("unknown profile %q (have: %s)", *use, profileNames(cfg))
+		}
+		cfg.Current = *use
+		if err := saveConfig(g.configPath, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "current profile: %s (%s)\n", *use, cfg.Profiles[*use].Server)
+		return nil
+	case *server != "":
+		if !strings.HasPrefix(*server, "http://") && !strings.HasPrefix(*server, "https://") {
+			return usagef("configure: -server %q: want an http:// or https:// URL", *server)
+		}
+		if cfg.Profiles == nil {
+			cfg.Profiles = map[string]profile{}
+		}
+		cfg.Profiles[*name] = profile{Server: strings.TrimRight(*server, "/")}
+		cfg.Current = *name
+		if err := saveConfig(g.configPath, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved profile %s -> %s (now current)\n", *name, cfg.Profiles[*name].Server)
+		return nil
+	default:
+		return usagef("configure: need -server, -use, or -list")
+	}
+}

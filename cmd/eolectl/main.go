@@ -1,0 +1,173 @@
+// Command eolectl is the operator CLI for an eoled server: submit
+// sweeps as async jobs and watch per-cell progress live, inspect and
+// cancel running jobs, and read server stats — against named server
+// profiles kept in a small config file, so day-to-day use is
+// "eolectl sweep ..." with no address flags.
+//
+// Usage:
+//
+//	eolectl configure -server http://sim-host:8080            # save the default profile
+//	eolectl configure -server http://lab:8080 -profile lab    # a second profile
+//	eolectl configure -use lab                                # switch profiles
+//	eolectl configure -list                                   # show profiles
+//	eolectl status                                            # server + job-registry stats
+//	eolectl sweep -configs EOLE_4_64,Baseline_6_64 -workloads gzip,hmmer -warmup 2000 -measure 5000
+//	eolectl sweep -grid grid.json -workloads gzip -detach     # submit, print job id, exit
+//	eolectl jobs list
+//	eolectl jobs cancel 7f3a9c12d4e6
+//
+// Every command takes the global flags before the subcommand name:
+//
+//	-server URL   override the profile's server for this invocation
+//	-profile P    use profile P instead of the current one
+//	-o FORMAT     "table" (default) or "json"
+//	-timeout D    per-request timeout (default 30s; sweeps stream
+//	              without a deadline and are bounded by the server)
+//
+// The profile file lives at $EOLECTL_CONFIG if set, else
+// ~/.config/eolectl/config.json.
+//
+// sweep submits via POST /v1/jobs and follows the job's NDJSON event
+// stream: one progress line per finished cell on stderr as it lands,
+// then the final report table (or JSON array) on stdout — the same
+// cells in the same deterministic order the synchronous /v1/sweep
+// endpoint would return. Ctrl-C cancels the job on the server before
+// exiting, so abandoned sweeps do not keep burning worker time.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// globalOpts is everything the subcommands share: where the server
+// is, how to render, how long to wait.
+type globalOpts struct {
+	configPath string
+	profile    string
+	server     string
+	output     string
+	timeout    time.Duration
+}
+
+// resolveServer picks the server URL: explicit -server flag, else the
+// selected (or current) profile from the config file.
+func (g *globalOpts) resolveServer() (string, error) {
+	if g.server != "" {
+		return g.server, nil
+	}
+	cfg, err := loadConfig(g.configPath)
+	if err != nil {
+		return "", err
+	}
+	name := g.profile
+	if name == "" {
+		name = cfg.Current
+	}
+	if name == "" {
+		return "", fmt.Errorf("no server configured: run `eolectl configure -server URL` or pass -server")
+	}
+	p, ok := cfg.Profiles[name]
+	if !ok {
+		return "", fmt.Errorf("unknown profile %q (have: %s)", name, profileNames(cfg))
+	}
+	return p.Server, nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	g := globalOpts{
+		configPath: defaultConfigPath(),
+		output:     "table",
+		timeout:    30 * time.Second,
+	}
+	fs := flag.NewFlagSet("eolectl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&g.configPath, "config", g.configPath, "profile config file")
+	fs.StringVar(&g.profile, "profile", "", "server profile to use (default: the current one)")
+	fs.StringVar(&g.server, "server", "", "server URL, overriding the profile")
+	fs.StringVar(&g.output, "o", g.output, `output format: "table" or "json"`)
+	fs.DurationVar(&g.timeout, "timeout", g.timeout, "per-request timeout")
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if g.output != "table" && g.output != "json" {
+		fmt.Fprintf(stderr, "eolectl: bad -o %q: want \"table\" or \"json\"\n", g.output)
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(stderr, fs)
+		return 2
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	var err error
+	switch cmd {
+	case "configure":
+		err = cmdConfigure(&g, rest, stdout, stderr)
+	case "status":
+		err = cmdStatus(ctx, &g, rest, stdout, stderr)
+	case "sweep":
+		err = cmdSweep(ctx, &g, rest, stdout, stderr)
+	case "jobs":
+		err = cmdJobs(ctx, &g, rest, stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout, fs)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "eolectl: unknown command %q\n", cmd)
+		usage(stderr, fs)
+		return 2
+	}
+	if err != nil {
+		var ue usageError
+		if errorsAs(err, &ue) {
+			fmt.Fprintf(stderr, "eolectl: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "eolectl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks errors caused by bad invocation (exit 2) rather
+// than a failed operation (exit 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string         { return e.msg }
+func usagef(format string, a ...any) error { return usageError{fmt.Sprintf(format, a...)} }
+func errorsAs(err error, ue *usageError) bool {
+	u, ok := err.(usageError)
+	if ok {
+		*ue = u
+	}
+	return ok
+}
+
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprint(w, `usage: eolectl [global flags] <command> [args]
+
+commands:
+  configure   save or switch server profiles
+  status      show server and job-registry stats
+  sweep       submit a sweep job and stream per-cell progress
+  jobs list   list jobs on the server
+  jobs cancel cancel a job by id
+
+global flags:
+`)
+	fs.PrintDefaults()
+}

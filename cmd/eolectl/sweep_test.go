@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// sweepFixture scripts the async-job dance: POST /v1/jobs answers
+// with a fixed id, the event stream serves NDJSON frames (heartbeat
+// included, which the CLI must skip). cut > 0 drops the connection
+// after that many event frames on the first attempt, forcing the CLI
+// to resume via ?from — the second attempt must only be asked for
+// what it has not seen.
+func sweepFixture(t *testing.T, cut int) (*httptest.Server, *atomic.Int64, *[]string) {
+	t.Helper()
+	frames := []string{
+		`{"seq":1,"type":"cell","job":"job0001","cell":{"index":0,"config":"EOLE_4_64","workload":"gzip","report":{"config":"EOLE_4_64","benchmark":"gzip","cycles":4000,"committed":5000,"ipc":1.25}}}`,
+		`{"type":"heartbeat"}`,
+		`{"seq":2,"type":"cell","job":"job0001","cell":{"index":2,"config":"Baseline_6_64","workload":"gzip","cached":true,"report":{"config":"Baseline_6_64","benchmark":"gzip","cycles":5000,"committed":5000,"ipc":1.0}}}`,
+		`{"seq":3,"type":"cell","job":"job0001","cell":{"index":1,"config":"EOLE_4_64","workload":"hmmer","report":{"config":"EOLE_4_64","benchmark":"hmmer","cycles":4200,"committed":5000,"ipc":1.19,"sampled":true,"ipc_ci":0.021,"sample_windows":4}}}`,
+		`{"seq":4,"type":"cell","job":"job0001","cell":{"index":3,"config":"Baseline_6_64","workload":"hmmer","error":"workload stream ended early"}}`,
+		`{"seq":5,"type":"done","job":"job0001","state":"failed","completed":3,"failed":1,"total":4}`,
+	}
+	var attempts atomic.Int64
+	var froms []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var body map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Errorf("bad job body: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job0001","state":"queued","cells_total":4,"status_url":"/v1/jobs/job0001","events_url":"/v1/jobs/job0001/events"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/job0001/events", func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		froms = append(froms, r.URL.Query().Get("from"))
+		if !strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+			t.Errorf("stream request did not ask for NDJSON (Accept %q)", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		from := 0
+		fmt.Sscanf(r.URL.Query().Get("from"), "%d", &from)
+		sent := 0
+		for _, fr := range frames {
+			var ev struct {
+				Seq int `json:"seq"`
+			}
+			json.Unmarshal([]byte(fr), &ev)
+			if ev.Seq != 0 && ev.Seq <= from {
+				continue
+			}
+			fmt.Fprintln(w, fr)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			if ev.Seq != 0 {
+				sent++
+				if n == 1 && cut > 0 && sent == cut {
+					return // drop the connection mid-stream
+				}
+			}
+		}
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &attempts, &froms
+}
+
+func TestGoldenSweep(t *testing.T) {
+	srv, _, _ := sweepFixture(t, 0)
+	code, stdout, stderr := runCtl(t, "-server", srv.URL, "sweep",
+		"-configs", "EOLE_4_64,Baseline_6_64", "-workloads", "gzip,hmmer",
+		"-warmup", "2000", "-measure", "5000")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (one cell failed); stderr: %s", code, stderr)
+	}
+	// Progress lines land on stderr in completion order; the table on
+	// stdout is in deterministic cell order regardless.
+	for _, want := range []string{
+		"job job0001: 4 cells",
+		"[1/4] EOLE_4_64/gzip ipc=1.250",
+		"[2/4] Baseline_6_64/gzip ipc=1.000 (cached)",
+		"[4/4] Baseline_6_64/hmmer error: workload stream ended early",
+		"1 of 4 cells errored",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	checkGolden(t, "sweep_table.golden", []byte(stdout))
+
+	code, stdout, _ = runCtl(t, "-server", srv.URL, "-o", "json", "sweep",
+		"-configs", "EOLE_4_64,Baseline_6_64", "-workloads", "gzip,hmmer")
+	if code != 1 {
+		t.Fatalf("json exit %d, want 1", code)
+	}
+	checkGolden(t, "sweep_json.golden", []byte(stdout))
+}
+
+// TestSweepResume cuts the first stream after two events; the CLI
+// must reconnect with ?from=2 and still deliver every cell exactly
+// once.
+func TestSweepResume(t *testing.T) {
+	srv, attempts, froms := sweepFixture(t, 2)
+	code, stdout, stderr := runCtl(t, "-server", srv.URL, "sweep",
+		"-configs", "EOLE_4_64,Baseline_6_64", "-workloads", "gzip,hmmer")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("stream attempts = %d, want 2", got)
+	}
+	if len(*froms) != 2 || (*froms)[0] != "0" || (*froms)[1] != "2" {
+		t.Errorf("resume cursors = %v, want [0 2]", *froms)
+	}
+	if n := strings.Count(stderr, "EOLE_4_64/gzip"); n != 1 {
+		t.Errorf("cell EOLE_4_64/gzip reported %d times across reconnect, want once", n)
+	}
+	checkGolden(t, "sweep_table.golden", []byte(stdout))
+}
+
+func TestSweepDetach(t *testing.T) {
+	srv, attempts, _ := sweepFixture(t, 0)
+	code, stdout, _ := runCtl(t, "-server", srv.URL, "sweep",
+		"-configs", "EOLE_4_64", "-workloads", "gzip", "-detach")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if stdout != "job0001\n" {
+		t.Errorf("detach stdout %q, want the bare job id", stdout)
+	}
+	if got := attempts.Load(); got != 0 {
+		t.Errorf("detach attached %d event streams, want 0", got)
+	}
+}
+
+func TestSweepGridFile(t *testing.T) {
+	srv, _, _ := sweepFixture(t, 0)
+	grid := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(grid, []byte(`{"base_name":"EOLE_4_64","axes":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCtl(t, "-server", srv.URL, "sweep",
+		"-grid", grid, "-workloads", "gzip", "-detach")
+	if code != 0 || stdout != "job0001\n" {
+		t.Fatalf("grid sweep: exit %d stdout %q", code, stdout)
+	}
+}
+
+func TestSweepUsageErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{"sweep", "-workloads", "gzip"},                        // no configs or grid
+		{"sweep", "-configs", "EOLE_4_64"},                     // no workloads
+		{"sweep", "-configs", "A", "-workloads", "x", "stray"}, // positional arg
+	} {
+		if code, _, _ := runCtl(t, append([]string{"-server", "http://unused"}, tc...)...); code != 2 {
+			t.Errorf("%v: exit %d, want 2", tc, code)
+		}
+	}
+}

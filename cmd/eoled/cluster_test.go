@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"sync/atomic"
 	"testing"
 
@@ -247,15 +249,26 @@ func TestClusterSweepEndpoint(t *testing.T) {
 	if st.Service.SimsRun != 4 {
 		t.Errorf("merged SimsRun = %d, want 4", st.Service.SimsRun)
 	}
-	var attributed uint64
+	// The coordinator dispatches each cell as an async job: 4 cells →
+	// 4 creates on /v1/jobs, each followed by at least one attach to
+	// its event stream.
+	var created, streamed uint64
 	for _, w := range st.Workers {
 		if w.Service == nil {
 			t.Fatalf("worker %s service stats missing", w.URL)
 		}
-		attributed += w.Service.Endpoints["/v1/simulate"].Requests
+		created += w.Service.Endpoints["/v1/jobs"].Requests
+		streamed += w.Service.Endpoints["/v1/jobs/{id}/events"].Requests
 	}
-	if attributed != 4 {
-		t.Errorf("per-worker /v1/simulate attribution sums to %d, want 4", attributed)
+	if created != 4 {
+		t.Errorf("per-worker /v1/jobs attribution sums to %d, want 4", created)
+	}
+	if streamed < 4 {
+		t.Errorf("per-worker event-stream attribution sums to %d, want >= 4", streamed)
+	}
+	if sims := st.Workers[0].Service.Endpoints["/v1/simulate"].Requests +
+		st.Workers[1].Service.Endpoints["/v1/simulate"].Requests; sims != 0 {
+		t.Errorf("legacy /v1/simulate served %d dispatches, want 0 (jobs path)", sims)
 	}
 }
 
@@ -323,14 +336,25 @@ func TestClusterErrorPaths(t *testing.T) {
 }
 
 // TestClusterWorkerFaults puts real eoled workers behind fault
-// injection: one answers 500 for its first calls, the other opens with
-// a 429 + Retry-After. The sweep must absorb both.
+// injection on the job-create path: one answers 500 for its first
+// calls, the other opens with a 429 + Retry-After. The sweep must
+// absorb both.
 func TestClusterWorkerFaults(t *testing.T) {
 	flaky, throttled := newWorker(t, workerOpts()), newWorker(t, workerOpts())
 	var flakyCalls, throttleCalls atomic.Int64
-	wrap := func(inner http.Handler, f func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	// wrap fronts a real worker with a transparent reverse proxy
+	// (headers, query and streaming intact — the event stream flows
+	// through it) plus a fault hook on POST /v1/jobs, the dispatch
+	// entry point.
+	wrap := func(target string, f func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+		u, err := url.Parse(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner := httputil.NewSingleHostReverseProxy(u)
+		inner.FlushInterval = -1
 		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/v1/simulate" && f(w, r) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && f(w, r) {
 				return
 			}
 			inner.ServeHTTP(w, r)
@@ -338,34 +362,14 @@ func TestClusterWorkerFaults(t *testing.T) {
 		t.Cleanup(srv.Close)
 		return srv
 	}
-	proxy := func(target string) http.Handler {
-		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, r.Body)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadGateway)
-				return
-			}
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadGateway)
-				return
-			}
-			defer resp.Body.Close()
-			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-			w.WriteHeader(resp.StatusCode)
-			buf := new(bytes.Buffer)
-			buf.ReadFrom(resp.Body)
-			w.Write(buf.Bytes())
-		})
-	}
-	flakySrv := wrap(proxy(flaky.URL), func(w http.ResponseWriter, _ *http.Request) bool {
+	flakySrv := wrap(flaky.URL, func(w http.ResponseWriter, _ *http.Request) bool {
 		if flakyCalls.Add(1) <= 2 {
 			http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
 			return true
 		}
 		return false
 	})
-	throttledSrv := wrap(proxy(throttled.URL), func(w http.ResponseWriter, _ *http.Request) bool {
+	throttledSrv := wrap(throttled.URL, func(w http.ResponseWriter, _ *http.Request) bool {
 		if throttleCalls.Add(1) == 1 {
 			w.Header().Set("Retry-After", "0")
 			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)

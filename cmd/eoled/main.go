@@ -14,6 +14,12 @@
 //
 //	POST /v1/simulate        {"config":"EOLE_4_64","workload":"namd","warmup":50000,"measure":200000}
 //	POST /v1/sweep           {"configs":[...],"grid":{...},"workloads":[...],"warmup":...,"measure":...}
+//	POST /v1/jobs            same bodies as simulate/sweep; answers 202 with a job id immediately
+//	GET  /v1/jobs            list retained jobs (active + recently finished)
+//	GET  /v1/jobs/{id}       job status: state, cells completed/total, per-cell errors
+//	DELETE /v1/jobs/{id}     cancel: queued cells dropped, running sims abandoned
+//	GET  /v1/jobs/{id}/events  per-cell completion stream: SSE (default) or NDJSON via Accept;
+//	                           replays completed cells on attach, ?from=N / Last-Event-ID resumes
 //	GET  /v1/configs         named machine configurations
 //	GET  /v1/workloads       the 19 benchmarks
 //	GET  /v1/traces          recorded µ-op traces (workload, length, bytes)
@@ -95,13 +101,14 @@ import (
 
 	"eole/internal/artifact"
 	"eole/internal/cluster"
+	"eole/internal/jobs"
 	"eole/internal/simsvc"
 )
 
 // version identifies this server build on /v1/healthz and /v1/stats.
 // Bump alongside schema-visible changes so cluster operators can spot
 // a mixed-version fleet from GET /v1/cluster/workers.
-const version = "0.6.0"
+const version = "0.7.0"
 
 func main() {
 	var (
@@ -121,6 +128,9 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated worker eoled addresses: act as a cluster coordinator (enables /v1/cluster/*)")
 		shareTraces  = flag.Bool("cluster-share-traces", true, "gate cluster sweeps so each workload's trace is recorded by one worker and fetched by the rest (workers need -artifact-peer pointing here to benefit)")
 		workerOn     = flag.Bool("worker", false, "pure worker mode: serve simulations only, never coordinate (mutually exclusive with -peers)")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "retain finished async jobs this long for late polls and event replays")
+		maxJobs      = flag.Int("max-jobs", 512, "bound on retained async jobs; at the bound the oldest finished job is evicted, and all-active answers 429")
+		jobHeartbeat = flag.Duration("job-heartbeat", 15*time.Second, "keep-alive interval on idle job event streams")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-job and per-dispatch records)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default and never on the API listener")
@@ -188,6 +198,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	registry := jobs.New(svc, jobs.Options{
+		TTL:     *jobTTL,
+		MaxJobs: *maxJobs,
+		Logger:  logger,
+	})
+
 	var coord *cluster.Coordinator
 	if *peers != "" {
 		coord, err = cluster.New(cluster.Options{
@@ -221,6 +237,8 @@ func main() {
 			maxQueue:       *maxQueue,
 			version:        version,
 			coord:          coord,
+			jobs:           registry,
+			jobHeartbeat:   *jobHeartbeat,
 			logger:         logger,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -274,6 +292,10 @@ func main() {
 			logger.Error("shutdown_failed", "error", err.Error())
 		}
 	}
+	// Async jobs outlive their creating requests, so the HTTP drain
+	// above does not cover them: cancel what is still active and wait
+	// for the runners before closing the service they submit into.
+	registry.Close()
 	// Simulations are not preemptible: Close returns once running ones
 	// finish (queued ones are abandoned), which can outlast the HTTP
 	// grace period for long requests.

@@ -3,6 +3,7 @@ package main
 import (
 	"eole/internal/artifact"
 	"eole/internal/cluster"
+	"eole/internal/jobs"
 	"eole/internal/obs"
 	"eole/internal/simsvc"
 )
@@ -53,6 +54,35 @@ func registerServiceMetrics(reg *obs.Registry, svc *simsvc.Service) {
 		cacheSize.Set(float64(st.CacheSize))
 		queueLen.Set(float64(svc.QueueLen()))
 		inflight.Set(float64(svc.InFlight()))
+	})
+}
+
+// registerJobMetrics mirrors the async job registry's accounting into
+// Prometheus instruments. The eole_jobs_* names are taken by the
+// simsvc per-cell counters above (an async "job" is a batch of those
+// cells), so the registry's family is eole_job_registry_* plus the
+// stream/event instruments.
+func registerJobMetrics(reg *obs.Registry, g *jobs.Registry) {
+	var (
+		active   = reg.Gauge("eole_job_registry_active", "Async jobs currently queued or running.")
+		retained = reg.Gauge("eole_job_registry_retained", "Async jobs retained by the registry (active + terminal awaiting TTL).")
+		created  = reg.Counter("eole_job_registry_created_total", "Async jobs created via POST /v1/jobs (and the coordinator's dispatch path).")
+		canceled = reg.Counter("eole_job_registry_canceled_total", "Async jobs canceled while still active.")
+		evicted  = reg.Counter("eole_job_registry_evicted_total", "Terminal jobs evicted early by the max-jobs bound.")
+		expired  = reg.Counter("eole_job_registry_expired_total", "Terminal jobs expired by the retention TTL.")
+		events   = reg.Counter("eole_job_events_total", "Per-cell and terminal events appended across all job logs.")
+		streams  = reg.Gauge("eole_job_event_streams", "Event-stream consumers currently attached.")
+	)
+	reg.OnGather(func() {
+		st := g.Stats()
+		active.Set(float64(st.Active))
+		retained.Set(float64(st.Retained))
+		created.Set(float64(st.Created))
+		canceled.Set(float64(st.Canceled))
+		evicted.Set(float64(st.Evicted))
+		expired.Set(float64(st.Expired))
+		events.Set(float64(st.Events))
+		streams.Set(float64(st.Streams))
 	})
 }
 

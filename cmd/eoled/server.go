@@ -16,6 +16,7 @@ import (
 	"eole"
 	"eole/internal/artifact"
 	"eole/internal/cluster"
+	"eole/internal/jobs"
 	"eole/internal/obs"
 	"eole/internal/simsvc"
 )
@@ -50,6 +51,13 @@ type serverOptions struct {
 	// /v1/cluster/* endpoints are routed and shard sweeps across its
 	// workers.
 	coord *cluster.Coordinator
+	// jobs is the async job registry behind /v1/jobs; when nil the
+	// server builds a default-bounded one of its own (tests and
+	// embedded uses). The owner is responsible for Close.
+	jobs *jobs.Registry
+	// jobHeartbeat is the idle keep-alive interval on job event
+	// streams (0 = 15s default).
+	jobHeartbeat time.Duration
 	// logger receives the structured request log (one Info record per
 	// request, carrying the request ID). nil discards.
 	logger *slog.Logger
@@ -78,7 +86,10 @@ type server struct {
 	// notModifiedVec counts conditional requests answered 304 without
 	// simulating, labeled by route pattern path.
 	notModifiedVec *obs.CounterVec
-	log            *slog.Logger
+	// jobs is the async job registry behind /v1/jobs (opts.jobs, or a
+	// server-owned default).
+	jobs *jobs.Registry
+	log  *slog.Logger
 }
 
 func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
@@ -94,11 +105,16 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 		reg:       obs.NewRegistry(),
 		log:       logger,
 	}
+	s.jobs = opts.jobs
+	if s.jobs == nil {
+		s.jobs = jobs.New(svc, jobs.Options{Logger: logger})
+	}
 	s.httpm = obs.NewHTTPMetrics(s.reg)
 	s.notModifiedVec = s.reg.CounterVec("eole_http_not_modified_total",
 		"Conditional requests answered 304 Not Modified from the entity tag alone.", "path")
 	obs.RegisterRuntimeMetrics(s.reg)
 	registerServiceMetrics(s.reg, svc)
+	registerJobMetrics(s.reg, s.jobs)
 	if store := svc.Artifacts(); store != nil {
 		registerArtifactMetrics(s.reg, store)
 	}
@@ -114,8 +130,13 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		parts := strings.Fields(pattern)
 		path := parts[len(parts)-1]
-		ep := &endpointCounters{}
-		s.endpoints[path] = ep
+		// Methods sharing a path (GET/PUT artifacts, POST/GET jobs)
+		// share one counter: stats attribution is per path.
+		ep := s.endpoints[path]
+		if ep == nil {
+			ep = &endpointCounters{}
+			s.endpoints[path] = ep
+		}
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			ep.requests.Add(1)
 			cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
@@ -129,6 +150,11 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	}
 	route("POST /v1/simulate", s.handleSimulate)
 	route("POST /v1/sweep", s.handleSweep)
+	route("POST /v1/jobs", s.handleJobCreate)
+	route("GET /v1/jobs", s.handleJobList)
+	route("GET /v1/jobs/{id}", s.handleJobGet)
+	route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	route("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	route("GET /v1/configs", s.handleConfigs)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/traces", s.handleTraces)
@@ -162,6 +188,14 @@ type countingWriter struct {
 func (w *countingWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush passes through so streaming handlers (job event streams) can
+// push frames promptly from behind the counting wrapper.
+func (w *countingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // overloaded applies queue-depth backpressure: when the simulation
@@ -430,19 +464,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// at full queue depth), and duplicate cells within the sweep
 	// coalesce into one queue slot, so all are excluded from the
 	// count.
-	cold := 0
-	seen := make(map[simsvc.Key]bool, len(reqs))
-	for i := range reqs {
-		k := simsvc.KeyOf(reqs[i])
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		if !s.svc.FreeToServeKey(k) {
-			cold++
-		}
-	}
-	if cold > 0 && s.overloadedBy(w, cold) {
+	if cold := s.coldCells(reqs); cold > 0 && s.overloadedBy(w, cold) {
 		return
 	}
 	sweep, err := s.svc.SubmitSweep(r.Context(), reqs)
@@ -567,7 +589,10 @@ type statsResponse struct {
 	QueueLen int    `json:"queue_len"`
 	// Artifacts is the artifact store's (tier × kind) accounting
 	// matrix; absent when the service runs without a store.
-	Artifacts []artifact.TierStats             `json:"artifacts,omitempty"`
+	Artifacts []artifact.TierStats `json:"artifacts,omitempty"`
+	// Jobs is the async job registry's accounting (retained/active
+	// jobs, eviction and expiry counters, attached event streams).
+	Jobs      jobs.Stats                       `json:"jobs"`
 	Endpoints map[string]cluster.EndpointStats `json:"endpoints"`
 }
 
@@ -584,6 +609,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Version:   s.opts.version,
 		UptimeNS:  int64(time.Since(s.start)),
 		QueueLen:  s.svc.QueueLen(),
+		Jobs:      s.jobs.Stats(),
 		Endpoints: eps,
 	}
 	if store := s.svc.Artifacts(); store != nil {

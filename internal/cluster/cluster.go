@@ -3,7 +3,14 @@
 // simsvc.Requests, typically built from named configs or a design-space
 // grid crossed with workloads — into cells keyed by the existing simsvc
 // content address, dedupes identical cells cluster-wide, and dispatches
-// them over eoled's HTTP API (POST /v1/simulate with an inline config).
+// them over eoled's HTTP API. Each dispatch is an async job (POST
+// /v1/jobs with an inline config) whose per-cell completion events the
+// coordinator consumes as an NDJSON stream — a dropped stream
+// reconnects and resumes from the last seen event without re-running
+// anything, and abandoning a dispatch cancels the job on the worker so
+// its simulation actually stops. Workers whose eoled predates the job
+// API are detected once (404 on the first create) and served by the
+// legacy blocking POST /v1/simulate instead.
 //
 // The dispatcher is pull-based: every worker draws cells from one
 // shared queue, bounded by a per-worker in-flight cap, so a fast or
@@ -133,6 +140,12 @@ type worker struct {
 	failed     atomic.Uint64 // cells that failed permanently on this worker
 	requeued   atomic.Uint64 // retryable failures handed back to the queue
 	throttled  atomic.Uint64 // 429 backpressure responses
+
+	// jobsUnsupported latches once the worker answers POST /v1/jobs
+	// with 404/405 (an eoled predating the async job API): dispatch
+	// then goes straight to the legacy blocking /v1/simulate, so a
+	// mixed-version fleet works without probing every cell twice.
+	jobsUnsupported atomic.Bool
 }
 
 // Coordinator shards sweeps across a fixed set of eoled workers. Create

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -408,8 +409,15 @@ func (r *Run) dispatch(cl *cell, w *worker) {
 	c.mu.Unlock()
 }
 
-// post performs the HTTP round trip for one cell: POST /v1/simulate
-// with the config inline, decoding the worker's Report on success.
+// post performs the round trip for one cell. The preferred path is
+// the async job API: create a job on the worker and consume its
+// per-cell completion events as an NDJSON stream — a dropped stream
+// reconnects and resumes from the last seen event (the worker replays
+// on attach, so nothing re-simulates), and leaving early cancels the
+// job so the worker's simulation actually stops instead of burning a
+// core for a result nobody wants. Workers that answer 404/405 to the
+// create (an eoled predating /v1/jobs) are latched unsupported and
+// served by the legacy blocking POST /v1/simulate.
 func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, err error) {
 	body, err := json.Marshal(struct {
 		Config   eole.Config        `json:"config"`
@@ -427,16 +435,224 @@ func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/simulate", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, outcomePermanent, false, err
+	if !w.jobsUnsupported.Load() {
+		rep, delay, outcome, workerFault, supported, err := r.postJob(ctx, body, w)
+		if supported {
+			return rep, delay, outcome, workerFault, err
+		}
+		w.jobsUnsupported.Store(true)
+		r.c.log.Info("worker_legacy_dispatch", "worker", w.url,
+			"reason", "no /v1/jobs endpoint; falling back to blocking /v1/simulate")
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	// Stamp the sweep's request ID on the dispatch so the worker's
-	// access log (and its simsvc lifecycle events) carry the same ID
-	// as the coordinator's — one sweep, one trace.
+	return r.postSimulate(ctx, body, w)
+}
+
+// newWorkerRequest builds one dispatch request, stamping the sweep's
+// request ID so the worker's access log (and its simsvc lifecycle
+// events) carry the same ID as the coordinator's — one sweep, one
+// trace.
+func (r *Run) newWorkerRequest(ctx context.Context, method, url string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	if id := obs.RequestID(r.ctx); id != "" {
 		hreq.Header.Set(obs.RequestIDHeader, id)
+	}
+	return hreq, nil
+}
+
+// jobEvent is the coordinator's view of one worker event frame: just
+// the fields dispatch needs, tolerant of additions.
+type jobEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	Cell *struct {
+		Report *eole.Report `json:"report"`
+		Error  string       `json:"error"`
+	} `json:"cell"`
+	State string `json:"state"`
+}
+
+// streamReconnects bounds how many times one dispatch re-attaches to
+// its job's event stream after a mid-stream disconnect before giving
+// the cell back to the retry path.
+const streamReconnects = 3
+
+// postJob is the async-job dispatch: POST /v1/jobs, then follow the
+// event stream to the cell's completion. supported=false means the
+// worker has no job API (404/405 on the create) and the caller should
+// fall back — every other outcome is final for this round trip.
+func (r *Run) postJob(ctx context.Context, body []byte, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, supported bool, err error) {
+	hreq, err := r.newWorkerRequest(ctx, http.MethodPost, w.url+"/v1/jobs", body)
+	if err != nil {
+		return nil, 0, outcomePermanent, false, true, err
+	}
+	resp, err := r.c.client.Do(hreq)
+	if err != nil {
+		return nil, 0, outcomeRetry, true, true, fmt.Errorf("cluster: %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// fall through to the stream below
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, 0, 0, false, false, nil
+	case http.StatusTooManyRequests:
+		delay := retryAfter(resp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, delay, outcomeThrottle, false, true, nil
+	default:
+		// Same policy as the legacy path: any well-formed answer —
+		// 400, 5xx, unexpected — is retryable elsewhere and proves the
+		// worker alive (no circuit penalty).
+		return nil, 0, outcomeRetry, false, true,
+			fmt.Errorf("cluster: %s: status %d: %s", w.url, resp.StatusCode, errorBody(resp))
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&created); err != nil || created.ID == "" {
+		return nil, 0, outcomeRetry, true, true, fmt.Errorf("cluster: %s: bad job-create body: %v", w.url, err)
+	}
+	rep, outcome, workerFault, err = r.followJob(ctx, w, created.ID)
+	if outcome != outcomeOK {
+		// Leaving without the result (run canceled, dispatch timeout,
+		// stream gave up): cancel the job so the worker abandons the
+		// simulation instead of finishing it for nobody. Best-effort
+		// on a short detached context — ctx may already be dead — and
+		// a no-op when the job is already terminal (cell failed there).
+		r.cancelJob(w, created.ID)
+	}
+	return rep, 0, outcome, workerFault, true, err
+}
+
+// followJob consumes the job's NDJSON event stream until the cell
+// resolves, re-attaching after mid-stream disconnects with the resume
+// cursor so replayed events are never double-counted.
+func (r *Run) followJob(ctx context.Context, w *worker, id string) (*eole.Report, dispatchOutcome, bool, error) {
+	seen := 0
+	var lastErr error
+	for attempt := 0; attempt <= streamReconnects; attempt++ {
+		if ctx.Err() != nil {
+			return nil, outcomeRetry, true, fmt.Errorf("cluster: %s: %w", w.url, ctx.Err())
+		}
+		rep, outcome, fault, final, err := r.streamEvents(ctx, w, id, &seen)
+		if final {
+			return rep, outcome, fault, err
+		}
+		lastErr = err
+	}
+	return nil, outcomeRetry, true,
+		fmt.Errorf("cluster: %s: job %s stream died %d times: %w", w.url, id, streamReconnects+1, lastErr)
+}
+
+// streamEvents attaches to the job's event stream once. final=false
+// means the stream dropped before a terminal event and the caller may
+// re-attach from *seen; final=true carries the dispatch resolution.
+func (r *Run) streamEvents(ctx context.Context, w *worker, id string, seen *int) (rep *eole.Report, outcome dispatchOutcome, workerFault bool, final bool, err error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", w.url, id, *seen)
+	hreq, err := r.newWorkerRequest(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, outcomePermanent, false, true, err
+	}
+	hreq.Header.Set("Accept", "application/x-ndjson")
+	resp, err := r.c.client.Do(hreq)
+	if err != nil {
+		return nil, 0, true, false, fmt.Errorf("cluster: %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A 404 here means the job expired or the worker restarted
+		// between create and attach — nothing to resume, retry the
+		// whole cell; other statuses likewise.
+		return nil, outcomeRetry, false, true,
+			fmt.Errorf("cluster: %s: job %s events: status %d: %s", w.url, id, resp.StatusCode, errorBody(resp))
+	}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<24))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var cellReport *eole.Report
+	var cellErr string
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev jobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, 0, true, false, fmt.Errorf("cluster: %s: bad event frame: %w", w.url, err)
+		}
+		if ev.Seq > *seen {
+			*seen = ev.Seq
+		}
+		switch ev.Type {
+		case "heartbeat":
+			continue
+		case "cell":
+			if ev.Cell != nil {
+				cellReport, cellErr = ev.Cell.Report, ev.Cell.Error
+			}
+		case "done":
+			switch {
+			case ev.State == "done" && cellReport != nil:
+				return cellReport, outcomeOK, false, true, nil
+			case cellErr != "":
+				// The worker ran the cell and it failed there: same
+				// retry-elsewhere policy as a legacy 5xx, no circuit
+				// penalty — the worker answered well-formedly.
+				return nil, outcomeRetry, false, true,
+					fmt.Errorf("cluster: %s: %s", w.url, cellErr)
+			default:
+				// Canceled on the worker side, or a terminal frame
+				// with no cell result: retry elsewhere.
+				return nil, outcomeRetry, false, true,
+					fmt.Errorf("cluster: %s: job %s ended %q without a result", w.url, id, ev.State)
+			}
+		}
+	}
+	// Stream ended without a terminal event: connection dropped (or
+	// scanner error). Not final — the caller re-attaches from *seen.
+	err = sc.Err()
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return nil, 0, true, false, fmt.Errorf("cluster: %s: job %s stream: %w", w.url, id, err)
+}
+
+// cancelJob best-effort-cancels a job this dispatch is abandoning, on
+// a short detached context (the dispatch context is already dead).
+// The worker drops the job's queued cells and abandons its running
+// simulation at the next cancellation checkpoint.
+func (r *Run) cancelJob(w *worker, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hreq, err := r.newWorkerRequest(ctx, http.MethodDelete, w.url+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.c.client.Do(hreq)
+	if err != nil {
+		r.c.log.Debug("job_cancel_failed", "worker", w.url, "job", id, "error", err.Error())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// postSimulate is the legacy blocking dispatch: POST /v1/simulate and
+// hold the request open for the report.
+func (r *Run) postSimulate(ctx context.Context, body []byte, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, err error) {
+	hreq, err := r.newWorkerRequest(ctx, http.MethodPost, w.url+"/v1/simulate", body)
+	if err != nil {
+		return nil, 0, outcomePermanent, false, err
 	}
 	resp, err := r.c.client.Do(hreq)
 	if err != nil {
