@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eole/internal/jobs"
+	"eole/internal/obs"
 )
 
 // client is a thin wrapper over the eoled HTTP API. It shares the
@@ -241,4 +242,23 @@ func (c *client) stats(ctx context.Context) (serverStats, []byte, error) {
 	var st serverStats
 	b, err := c.getJSON(ctx, "/v1/stats", &st)
 	return st, b, err
+}
+
+// debugTraceList mirrors eoled's GET /v1/debug/traces listing.
+type debugTraceList struct {
+	Enabled bool               `json:"enabled"`
+	Traces  []obs.TraceSummary `json:"traces"`
+}
+
+func (c *client) debugTraces(ctx context.Context) (debugTraceList, []byte, error) {
+	var list debugTraceList
+	b, err := c.getJSON(ctx, "/v1/debug/traces", &list)
+	return list, b, err
+}
+
+// debugTrace fetches one assembled trace by trace or request ID.
+func (c *client) debugTrace(ctx context.Context, id string) (obs.Trace, []byte, error) {
+	var tr obs.Trace
+	b, err := c.getJSON(ctx, "/v1/debug/traces/"+id, &tr)
+	return tr, b, err
 }

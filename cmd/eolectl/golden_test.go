@@ -87,7 +87,53 @@ func fixtureServer(t *testing.T) *httptest.Server {
 		"created_at_unix_ms": 1754650000000, "finished_at_unix_ms": 1754650040000,
 		"cells_total": 4, "cells_completed": 2, "cells_failed": 0, "last_seq": 3}`
 
+	// One assembled cluster-sweep trace with fixed timestamps: a
+	// coordinator root, a dispatch hop, and the worker's spans spliced
+	// in (note the worker-side http.request parented on the dispatch).
+	const traceBody = `{
+		"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "request_id": "rid-1",
+		"spans": [
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90200",
+			 "name": "http.request", "service": "eoled@:8180",
+			 "start_unix_ns": 1754650000000000000, "end_unix_ns": 1754650001500000000,
+			 "attrs": {"method": "POST", "path": "/v1/cluster/sweep", "status": "200"}},
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90201",
+			 "parent_id": "00f067aa0ba90200", "name": "dispatch", "service": "eoled@:8180",
+			 "start_unix_ns": 1754650000002000000, "end_unix_ns": 1754650001400000000,
+			 "attrs": {"attempt": "1", "config": "EOLE_4_64", "worker": "http://w1:8181", "workload": "gzip"}},
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90301",
+			 "parent_id": "00f067aa0ba90201", "name": "http.request", "service": "eoled@:8181",
+			 "start_unix_ns": 1754650000003000000, "end_unix_ns": 1754650001390000000,
+			 "attrs": {"method": "POST", "path": "/v1/simulate", "status": "200"}},
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90302",
+			 "parent_id": "00f067aa0ba90301", "name": "queue.wait", "service": "eoled@:8181",
+			 "start_unix_ns": 1754650000003500000, "end_unix_ns": 1754650000004100000},
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90303",
+			 "parent_id": "00f067aa0ba90301", "name": "sim.warm", "service": "eoled@:8181",
+			 "start_unix_ns": 1754650000004200000, "end_unix_ns": 1754650000300000000},
+			{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba90304",
+			 "parent_id": "00f067aa0ba90301", "name": "sim.detailed", "service": "eoled@:8181",
+			 "start_unix_ns": 1754650000300100000, "end_unix_ns": 1754650001380000000}
+		]}`
+	const traceListBody = `{"enabled": true, "traces": [
+		{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "request_id": "rid-1",
+		 "root": "http.request", "start_unix_ns": 1754650000000000000,
+		 "duration_ns": 1500000000, "spans": 6}
+	]}`
+
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, traceListBody)
+	})
+	mux.HandleFunc("GET /v1/debug/traces/4bf92f3577b34da6a3ce929d0e0e4736", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, traceBody)
+	})
+	mux.HandleFunc("GET /v1/debug/traces/rid-1", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, traceBody)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprint(w, statsBody)
@@ -159,6 +205,56 @@ func TestGoldenJobsCancel(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
 	checkGolden(t, "jobs_cancel.golden", []byte(stdout))
+}
+
+// TestGoldenTrace pins `eolectl trace` output: the span tree by trace
+// ID, the same trace by request ID and via -last, and the raw -o json
+// passthrough.
+func TestGoldenTrace(t *testing.T) {
+	srv := fixtureServer(t)
+	code, stdout, stderr := runCtl(t, "-server", srv.URL, "trace", "4bf92f3577b34da6a3ce929d0e0e4736")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "trace_table.golden", []byte(stdout))
+
+	// The same trace by request ID and by -last must render identically.
+	code, byReq, _ := runCtl(t, "-server", srv.URL, "trace", "rid-1")
+	if code != 0 || byReq != stdout {
+		t.Errorf("trace by request ID: exit %d, output drifted from trace-ID output", code)
+	}
+	code, byLast, _ := runCtl(t, "-server", srv.URL, "trace", "-last")
+	if code != 0 || byLast != stdout {
+		t.Errorf("trace -last: exit %d, output drifted from trace-ID output", code)
+	}
+
+	code, stdout, _ = runCtl(t, "-server", srv.URL, "-o", "json", "trace", "4bf92f3577b34da6a3ce929d0e0e4736")
+	if code != 0 {
+		t.Fatalf("json exit %d", code)
+	}
+	checkGolden(t, "trace_json.golden", []byte(stdout))
+}
+
+func TestTraceUsageErrors(t *testing.T) {
+	code, _, stderr := runCtl(t, "-server", "http://unused", "trace")
+	if code != 2 || !strings.Contains(stderr, "trace or request ID") {
+		t.Errorf("bare trace: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCtl(t, "-server", "http://unused", "trace", "-last", "extra")
+	if code != 2 || !strings.Contains(stderr, "-last takes no ID") {
+		t.Errorf("trace -last extra: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestTraceNotFound(t *testing.T) {
+	srv := fixtureServer(t)
+	code, _, stderr := runCtl(t, "-server", srv.URL, "trace", "deadbeef")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "HTTP 404") {
+		t.Errorf("stderr %q does not surface the 404", stderr)
+	}
 }
 
 func TestJobsNotFound(t *testing.T) {

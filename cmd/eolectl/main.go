@@ -15,6 +15,8 @@
 //	eolectl sweep -grid grid.json -workloads gzip -detach     # submit, print job id, exit
 //	eolectl jobs list
 //	eolectl jobs cancel 7f3a9c12d4e6
+//	eolectl trace -last                                       # newest request's span waterfall
+//	eolectl trace 4bf92f3577b34da6a3ce929d0e0e4736            # one trace by trace/request ID
 //
 // Every command takes the global flags before the subcommand name:
 //
@@ -123,6 +125,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdSweep(ctx, &g, rest, stdout, stderr)
 	case "jobs":
 		err = cmdJobs(ctx, &g, rest, stdout, stderr)
+	case "trace":
+		err = cmdTrace(ctx, &g, rest, stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout, fs)
 		return 0
@@ -166,6 +170,7 @@ commands:
   sweep       submit a sweep job and stream per-cell progress
   jobs list   list jobs on the server
   jobs cancel cancel a job by id
+  trace       show one request's span tree (by trace/request ID, or -last)
 
 global flags:
 `)

@@ -27,6 +27,8 @@
 //	PUT  /v1/artifacts/{kind}/{key}  store one validated artifact
 //	GET  /v1/stats           service counters plus per-endpoint request/error counters
 //	GET  /v1/healthz         cheap liveness (status, version, uptime, queue depth)
+//	GET  /v1/debug/traces    recent request traces (timed spans), newest first
+//	GET  /v1/debug/traces/{id}  one assembled trace by trace or request ID; ?format=svg renders a timeline
 //	POST /v1/cluster/sweep   (with -peers) shard a sweep across the worker fleet
 //	GET  /v1/cluster/workers (with -peers) per-worker health, counters and merged stats
 //
@@ -65,6 +67,20 @@
 // whose waiters are all gone is abandoned at the core's next
 // cancellation checkpoint.
 //
+// Tracing: every request is traced end to end with per-phase timed
+// spans — HTTP handling, cache probe, queue wait, trace load, warm-up,
+// detailed run, cluster dispatch attempts, artifact peer fetches —
+// retained in a bounded in-memory ring (-trace-ring, 0 disables) and
+// served on GET /v1/debug/traces. Responses carry X-Eole-Trace-Id;
+// requests may carry a W3C traceparent header to join a caller's
+// trace, which is how a coordinator's dispatches thread one trace
+// through its workers (it fetches their spans back after the sweep, so
+// the assembled trace is one cross-process waterfall). Requests slower
+// than -slow-request escalate to a WARN log record naming the trace
+// and its slowest spans. Spans are per-phase, never per-µ-op: the
+// simulation hot loop is untouched, and with -trace-ring 0 each
+// instrumentation point costs one nil check.
+//
 // Sampled simulation: /v1/simulate and /v1/sweep take an optional
 // "sampling" object ({"windows":8,"skip":0,"warm":40000}): the run
 // then alternates functional-warming fast-forwards with short
@@ -102,13 +118,14 @@ import (
 	"eole/internal/artifact"
 	"eole/internal/cluster"
 	"eole/internal/jobs"
+	"eole/internal/obs"
 	"eole/internal/simsvc"
 )
 
 // version identifies this server build on /v1/healthz and /v1/stats.
 // Bump alongside schema-visible changes so cluster operators can spot
 // a mixed-version fleet from GET /v1/cluster/workers.
-const version = "0.7.0"
+const version = "0.8.0"
 
 func main() {
 	var (
@@ -131,6 +148,8 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "retain finished async jobs this long for late polls and event replays")
 		maxJobs      = flag.Int("max-jobs", 512, "bound on retained async jobs; at the bound the oldest finished job is evicted, and all-active answers 429")
 		jobHeartbeat = flag.Duration("job-heartbeat", 15*time.Second, "keep-alive interval on idle job event streams")
+		traceRing    = flag.Int("trace-ring", obs.DefaultTraceRing, "retain the most recent N request traces for /v1/debug/traces (0 disables tracing)")
+		slowReq      = flag.Duration("slow-request", 10*time.Second, "WARN-log any request slower than this with its trace ID and slowest spans (0 disables)")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-job and per-dispatch records)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default and never on the API listener")
@@ -157,6 +176,14 @@ func main() {
 		queueDepth = *maxQueue + 1
 	}
 
+	// The tracer's service identity carries the listen address so a
+	// cross-process waterfall says which eoled ran each span. A nil
+	// tracer (-trace-ring 0) disables every instrumentation point.
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer("eoled@"+*addr, *traceRing)
+	}
+
 	// The artifact store is always created — even with no directories
 	// it provides the memory tier behind /v1/artifacts, which is what
 	// lets a diskless coordinator relay traces between workers. It is
@@ -174,6 +201,7 @@ func main() {
 		},
 		Peer:   peer,
 		Logger: logger,
+		Tracer: tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eoled:", err)
@@ -192,6 +220,7 @@ func main() {
 		Traces:       *traces || *traceDir != "" || *artifactDir != "",
 		TraceMaxOps:  *traceMax,
 		Logger:       logger,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eoled:", err)
@@ -202,6 +231,7 @@ func main() {
 		TTL:     *jobTTL,
 		MaxJobs: *maxJobs,
 		Logger:  logger,
+		Tracer:  tracer,
 	})
 
 	var coord *cluster.Coordinator
@@ -210,6 +240,7 @@ func main() {
 			Workers:     strings.Split(*peers, ","),
 			ShareTraces: *shareTraces,
 			Logger:      logger,
+			Tracer:      tracer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eoled:", err)
@@ -240,6 +271,8 @@ func main() {
 			jobs:           registry,
 			jobHeartbeat:   *jobHeartbeat,
 			logger:         logger,
+			tracer:         tracer,
+			slowRequest:    *slowReq,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ConnState: func(_ net.Conn, state http.ConnState) {

@@ -86,6 +86,31 @@ func registerJobMetrics(reg *obs.Registry, g *jobs.Registry) {
 	})
 }
 
+// registerSpanMetrics derives duration histograms from completed
+// spans: job.run spans feed eole_job_duration_seconds and queue.wait
+// spans feed eole_job_queue_wait_seconds, so the histograms cost
+// nothing beyond the spans already being recorded. Simulations run
+// from sub-millisecond (cache hits under load) to minutes (long-*
+// workloads), hence the wide log-spaced buckets. A nil tracer still
+// registers the families — scrapers see stable zero-count histograms
+// rather than metrics that appear only when tracing is on.
+func registerSpanMetrics(reg *obs.Registry, t *obs.Tracer) {
+	jobDur := reg.Histogram("eole_job_duration_seconds",
+		"Async job wall time from runner start to terminal state, derived from job.run spans.",
+		[]float64{0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300})
+	queueWait := reg.Histogram("eole_job_queue_wait_seconds",
+		"Time a simulation waited in the service queue before a worker picked it up, derived from queue.wait spans.",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60})
+	t.OnSpanEnd(func(d obs.SpanData) {
+		switch d.Name {
+		case "job.run":
+			jobDur.Observe(d.Duration().Seconds())
+		case "queue.wait":
+			queueWait.Observe(d.Duration().Seconds())
+		}
+	})
+}
+
 // registerArtifactMetrics mirrors the artifact store's (tier × kind)
 // accounting matrix into Prometheus instruments. Label cardinality is
 // bounded: 3 tiers × 2 kinds.

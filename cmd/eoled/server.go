@@ -61,6 +61,15 @@ type serverOptions struct {
 	// logger receives the structured request log (one Info record per
 	// request, carrying the request ID). nil discards.
 	logger *slog.Logger
+	// tracer, when non-nil, records per-phase spans for every request
+	// into a bounded ring served on /v1/debug/traces. nil disables
+	// tracing; the debug endpoints then answer with an explanatory
+	// error instead of vanishing.
+	tracer *obs.Tracer
+	// slowRequest, when positive, escalates any request whose root span
+	// outlives it to a WARN record carrying the trace ID and its
+	// slowest child spans.
+	slowRequest time.Duration
 }
 
 // endpointCounters is one endpoint's request accounting; errors counts
@@ -121,6 +130,7 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	if opts.coord != nil {
 		registerClusterMetrics(s.reg, opts.coord)
 	}
+	registerSpanMetrics(s.reg, opts.tracer)
 	mux := http.NewServeMux()
 	// route registers a handler wrapped with per-endpoint request and
 	// error counting (surfaced in /v1/stats under "endpoints", keyed by
@@ -158,6 +168,8 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	route("GET /v1/configs", s.handleConfigs)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/traces", s.handleTraces)
+	route("GET /v1/debug/traces", s.handleDebugTraces)
+	route("GET /v1/debug/traces/{id}", s.handleDebugTrace)
 	route("GET /v1/stats", s.handleStats)
 	route("GET /v1/healthz", s.handleHealthz)
 	route("GET /v1/figures", s.handleFiguresIndex)
@@ -173,9 +185,13 @@ func newServer(svc *simsvc.Service, opts serverOptions) http.Handler {
 	mux.Handle("GET /metrics", s.reg.Handler())
 	// The access-log middleware wraps the whole mux: it assigns (or
 	// adopts) the request ID, stores it in the context for handlers and
-	// the cluster dispatcher, echoes it on the response, and emits one
-	// structured record per request.
-	return obs.AccessLog(logger, mux)
+	// the cluster dispatcher, echoes it on the response, emits one
+	// structured record per request, and — with a tracer — opens the
+	// root http.request span each downstream span parents under.
+	return obs.AccessLogWith(logger, obs.AccessLogOptions{
+		Tracer:      opts.tracer,
+		SlowRequest: opts.slowRequest,
+	}, mux)
 }
 
 // countingWriter records the response status for the per-endpoint

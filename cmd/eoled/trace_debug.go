@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"eole/internal/obs"
+	"eole/internal/stats"
+)
+
+// The /v1/debug/traces endpoints serve the tracer's ring of assembled
+// traces: a summary listing, and per-trace detail as JSON or as an SVG
+// waterfall timeline (?format=svg). They live under /v1/debug because
+// the ring is bounded diagnostic state, not part of the simulation
+// API's compatibility surface.
+
+// debugTracesResponse is the GET /v1/debug/traces listing.
+type debugTracesResponse struct {
+	Enabled bool               `json:"enabled"`
+	Traces  []obs.TraceSummary `json:"traces"`
+}
+
+func (s *server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
+	sums := s.opts.tracer.Summaries()
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, debugTracesResponse{
+		Enabled: s.opts.tracer != nil,
+		Traces:  sums,
+	})
+}
+
+// handleDebugTrace serves one assembled trace. The {id} path element is
+// resolved first as a trace ID, then as a request ID (the value clients
+// already hold from X-Eole-Request-Id), so either header on a past
+// response addresses its trace.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.opts.tracer
+	if t == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("tracing disabled: restart eoled with -trace-ring > 0"))
+		return
+	}
+	id := r.PathValue("id")
+	tr, ok := t.Trace(id)
+	if !ok {
+		tr, ok = t.TraceByRequestID(id)
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no retained trace with trace or request ID %q", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "svg" {
+		svg, err := stats.RenderTimelineSVG("trace "+tr.TraceID, timelineSpans(tr))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", svgContentType)
+		w.Write(svg)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// timelineSpans converts an assembled trace into timeline rows: tree
+// order, starts rebased onto the trace's earliest span so the SVG's
+// time axis begins at zero.
+func timelineSpans(tr obs.Trace) []stats.TimelineSpan {
+	nodes := tr.Ordered()
+	var t0 int64
+	for i, n := range nodes {
+		if i == 0 || n.Span.StartUnixNS < t0 {
+			t0 = n.Span.StartUnixNS
+		}
+	}
+	rows := make([]stats.TimelineSpan, len(nodes))
+	for i, n := range nodes {
+		rows[i] = stats.TimelineSpan{
+			Label:   n.Span.Name,
+			Service: n.Span.Service,
+			Detail:  n.Span.Detail(),
+			StartNS: n.Span.StartUnixNS - t0,
+			DurNS:   n.Span.EndUnixNS - n.Span.StartUnixNS,
+			Depth:   n.Depth,
+			Error:   n.Span.Error != "",
+		}
+	}
+	return rows
+}

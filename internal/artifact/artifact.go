@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eole/internal/obs"
 )
 
 // Kind partitions the key space: artifacts of different kinds never
@@ -116,6 +118,11 @@ type Options struct {
 	// Logger receives tier events at Debug and quarantines at Warn
 	// (nil = discard).
 	Logger *slog.Logger
+	// Tracer, when set, records an artifact.fetch span around every
+	// peer fetch (the only tier slow enough to matter in a request
+	// waterfall: memory and disk lookups are microseconds; a peer
+	// fetch is a cross-process HTTP round trip).
+	Tracer *obs.Tracer
 }
 
 // memEntry is one resident artifact in the LRU list.
@@ -294,7 +301,18 @@ func (s *Store) get(ctx context.Context, kind Kind, key string, usePeer bool) ([
 		ks.disk.misses.Add(1)
 	}
 	if usePeer && s.opts.Peer != nil {
-		b, err := s.opts.Peer.Fetch(ctx, kind, key)
+		fctx, fsp := s.opts.Tracer.StartSpan(ctx, "artifact.fetch")
+		fsp.SetAttr("kind", string(kind))
+		b, err := s.opts.Peer.Fetch(fctx, kind, key)
+		if err == nil && len(b) > 0 {
+			fsp.SetAttr("hit", "true")
+		} else {
+			fsp.SetAttr("hit", "false")
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				fsp.SetError(err)
+			}
+		}
+		fsp.End()
 		switch {
 		case err == nil && len(b) > 0:
 			ks.peer.hits.Add(1)

@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eole/internal/obs"
 )
 
 // ErrNoWorkers is the per-cell error when every worker's circuit is
@@ -119,6 +121,14 @@ type Options struct {
 	// Dispatch events carry the sweep's request ID so a coordinator's
 	// logs line up with the worker-side access logs.
 	Logger *slog.Logger
+	// Tracer, when set, records one dispatch span per cell attempt
+	// (worker, attempt number, outcome — requeues and throttles
+	// included), stamps the W3C traceparent header on every worker
+	// request so worker-side spans join the sweep's trace, and — once
+	// a run's cells are all terminal — fetches each participating
+	// worker's spans for the trace and splices them into the local
+	// ring: one cross-process waterfall per sweep.
+	Tracer *obs.Tracer
 }
 
 // worker is the coordinator's view of one eoled. Mutable state is

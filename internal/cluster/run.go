@@ -87,6 +87,9 @@ type Run struct {
 	errs    []error
 	meta    []CellMeta
 	err     error
+	// used records every worker URL this run dispatched to, for the
+	// post-run trace splice (guarded by c.mu).
+	used map[string]bool
 }
 
 // Start decomposes the sweep into deduplicated cells and begins
@@ -110,6 +113,7 @@ func (c *Coordinator) Start(ctx context.Context, reqs []simsvc.Request) (*Run, e
 		errs:    make([]error, len(reqs)),
 		meta:    make([]CellMeta, len(reqs)),
 		done:    make(chan struct{}),
+		used:    make(map[string]bool),
 	}
 	byKey := make(map[simsvc.Key]*cell, len(reqs))
 	for i, req := range reqs {
@@ -250,13 +254,67 @@ func (r *Run) loop() {
 			cl.tried = make(map[*worker]bool, len(c.workers))
 		}
 		cl.tried[w] = true
+		r.used[w.url] = true
 		w.inflight++
 		r.inflight++
 		w.dispatched.Add(1)
 		go r.dispatch(cl, w)
 	}
+	// Every cell is terminal (all dispatch round trips resolved), so
+	// the participating workers' spans are complete: splice them into
+	// the coordinator's trace before sealing the run, outside the lock
+	// — the fetches are network I/O. Wait then returns an already
+	// assembled cross-process trace.
+	used := make([]string, 0, len(r.used))
+	for url := range r.used {
+		used = append(used, url)
+	}
+	c.mu.Unlock()
+	r.spliceWorkerTraces(used)
+	c.mu.Lock()
 	r.finishLocked()
 	c.mu.Unlock()
+}
+
+// spliceWorkerTraces fetches each participating worker's view of the
+// sweep's trace (GET /v1/debug/traces/{id}) and ingests the spans into
+// the coordinator's tracer, span-ID-deduplicated — one waterfall for
+// the whole fleet. Best-effort on a short detached context: a worker
+// that died or predates the endpoint just contributes no spans.
+func (r *Run) spliceWorkerTraces(used []string) {
+	tracer := r.c.opts.Tracer
+	sp := obs.SpanFrom(r.ctx)
+	if tracer == nil || sp == nil || len(used) == 0 {
+		return
+	}
+	traceID := sp.Context().TraceID
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	for _, url := range used {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/debug/traces/"+traceID, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := r.c.client.Do(hreq)
+		if err != nil {
+			r.c.log.Debug("trace_splice_failed", "worker", url, "trace_id", traceID, "error", err.Error())
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			continue
+		}
+		var tr obs.Trace
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&tr)
+		resp.Body.Close()
+		if err != nil || tr.TraceID != traceID {
+			r.c.log.Debug("trace_splice_failed", "worker", url, "trace_id", traceID, "error", "bad trace body")
+			continue
+		}
+		tracer.Ingest(tr.Spans, tr.RequestID)
+		r.c.log.Debug("trace_spliced", "worker", url, "trace_id", traceID, "spans", len(tr.Spans))
+	}
 }
 
 // deadErr reports why the run can no longer make progress (sweep
@@ -355,13 +413,43 @@ const (
 	outcomeThrottle
 )
 
+// outcomeName labels a dispatch outcome for span attributes.
+func outcomeName(o dispatchOutcome) string {
+	switch o {
+	case outcomeOK:
+		return "ok"
+	case outcomePermanent:
+		return "permanent"
+	case outcomeRetry:
+		return "retry"
+	case outcomeThrottle:
+		return "throttle"
+	}
+	return "unknown"
+}
+
 // dispatch posts one cell to one worker and resolves the outcome under
 // the coordinator lock.
 func (r *Run) dispatch(cl *cell, w *worker) {
 	r.c.log.Debug("cell_dispatch", "worker", w.url, "key", cl.key.String(),
 		"config", cl.req.Config.Label(), "workload", cl.req.Workload,
 		"attempt", cl.attempts, "request_id", obs.RequestID(r.ctx))
-	rep, delay, outcome, workerFault, err := r.post(cl.req, w)
+	// One span per attempt: a cell that is requeued (throttle, retry)
+	// shows up as several dispatch spans with increasing attempt
+	// numbers, so circuit waits and requeues are visible in the
+	// waterfall. The span context rides the worker requests as a
+	// traceparent header, parenting the worker-side spans here.
+	dctx, dsp := r.c.opts.Tracer.StartSpan(r.ctx, "dispatch")
+	dsp.SetAttr("worker", w.url)
+	dsp.SetAttr("config", cl.req.Config.Label())
+	dsp.SetAttr("workload", cl.req.Workload)
+	dsp.SetAttr("attempt", strconv.Itoa(cl.attempts))
+	rep, delay, outcome, workerFault, err := r.post(dctx, cl.req, w)
+	dsp.SetAttr("outcome", outcomeName(outcome))
+	if outcome != outcomeOK {
+		dsp.SetError(err)
+	}
+	dsp.End()
 
 	c := r.c
 	c.mu.Lock()
@@ -418,7 +506,7 @@ func (r *Run) dispatch(cl *cell, w *worker) {
 // core for a result nobody wants. Workers that answer 404/405 to the
 // create (an eoled predating /v1/jobs) are latched unsupported and
 // served by the legacy blocking POST /v1/simulate.
-func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, err error) {
+func (r *Run) post(ctx context.Context, req simsvc.Request, w *worker) (rep *eole.Report, delay time.Duration, outcome dispatchOutcome, workerFault bool, err error) {
 	body, err := json.Marshal(struct {
 		Config   eole.Config        `json:"config"`
 		Workload string             `json:"workload"`
@@ -429,7 +517,6 @@ func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.
 	if err != nil {
 		return nil, 0, outcomePermanent, false, fmt.Errorf("cluster: encode request: %w", err)
 	}
-	ctx := r.ctx
 	if d := r.c.opts.DispatchTimeout; d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -450,7 +537,8 @@ func (r *Run) post(req simsvc.Request, w *worker) (rep *eole.Report, delay time.
 // newWorkerRequest builds one dispatch request, stamping the sweep's
 // request ID so the worker's access log (and its simsvc lifecycle
 // events) carry the same ID as the coordinator's — one sweep, one
-// trace.
+// trace — and the dispatch span's traceparent so the worker's spans
+// join the sweep's distributed trace.
 func (r *Run) newWorkerRequest(ctx context.Context, method, url string, body []byte) (*http.Request, error) {
 	var rd io.Reader
 	if body != nil {
@@ -466,6 +554,7 @@ func (r *Run) newWorkerRequest(ctx context.Context, method, url string, body []b
 	if id := obs.RequestID(r.ctx); id != "" {
 		hreq.Header.Set(obs.RequestIDHeader, id)
 	}
+	obs.InjectTraceContext(ctx, hreq.Header.Set)
 	return hreq, nil
 }
 

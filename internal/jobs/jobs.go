@@ -35,6 +35,7 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,6 +148,11 @@ type Options struct {
 	MaxJobs int
 	// Logger receives job lifecycle events (nil = discard).
 	Logger *slog.Logger
+	// Tracer, when set, records one job.run span per job (creation →
+	// terminal state) and one job.cell span per cell (submit → result),
+	// parented under the creating request's span so an async job's
+	// whole execution lands in the trace of the POST that started it.
+	Tracer *obs.Tracer
 }
 
 // Stats is the registry's accounting snapshot, served inside
@@ -326,6 +332,12 @@ func (g *Registry) Create(ctx context.Context, reqs []simsvc.Request) (*Job, err
 	if rid != "" {
 		jctx = obs.WithRequestID(jctx, rid)
 	}
+	// Like the request ID, the creating request's span is carried into
+	// the detached job context — the job's spans join that trace, while
+	// its lifetime stays independent of the creating request.
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		jctx = obs.ContextWithSpan(jctx, sp)
+	}
 	j := &Job{
 		id:        id,
 		reqs:      reqs,
@@ -484,6 +496,9 @@ func (g *Registry) evictOldestTerminalLocked() bool {
 // total: cells first (as they finish), EventDone last.
 func (g *Registry) run(ctx context.Context, j *Job) {
 	defer g.wg.Done()
+	ctx, jsp := g.opts.Tracer.StartSpan(ctx, "job.run")
+	jsp.SetAttr("job", j.id)
+	jsp.SetAttr("cells", strconv.Itoa(len(j.reqs)))
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
@@ -497,17 +512,25 @@ func (g *Registry) run(ctx context.Context, j *Job) {
 			// the cancel.
 			break
 		}
-		sj, err := g.svc.Submit(ctx, j.reqs[i])
+		cctx, csp := g.opts.Tracer.StartSpan(ctx, "job.cell")
+		csp.SetAttr("config", j.reqs[i].Config.Label())
+		csp.SetAttr("workload", j.reqs[i].Workload)
+		sj, err := g.svc.Submit(cctx, j.reqs[i])
 		if err != nil {
+			csp.SetError(err)
+			csp.End()
 			g.finishCell(j, i, nil, false, err)
 			continue
 		}
 		wg.Add(1)
-		go func(i int, sj *simsvc.Job) {
+		go func(i int, sj *simsvc.Job, csp *obs.Span) {
 			defer wg.Done()
 			rep, err := sj.Wait(ctx)
+			csp.SetAttr("cached", strconv.FormatBool(sj.Cached()))
+			csp.SetError(err)
+			csp.End()
 			g.finishCell(j, i, rep, sj.Cached(), err)
-		}(i, sj)
+		}(i, sj, csp)
 	}
 	wg.Wait()
 
@@ -530,6 +553,8 @@ func (g *Registry) run(ctx context.Context, j *Job) {
 	})
 	state, completed, failed := j.state, j.completed, j.failed
 	j.mu.Unlock()
+	jsp.SetAttr("state", string(state))
+	jsp.End()
 	close(j.done)
 	g.log.Info("job_finished", "job", j.id, "state", string(state),
 		"completed", completed, "failed", failed, "total", len(j.reqs),

@@ -3,6 +3,7 @@ package obs
 import (
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -45,18 +46,54 @@ func (w *statusWriter) Flush() {
 // address. Raw paths are safe in log lines (unlike metric labels,
 // which must use route patterns — see HTTPMetrics).
 func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return AccessLogWith(logger, AccessLogOptions{}, next)
+}
+
+// AccessLogOptions extends AccessLog with tracing.
+type AccessLogOptions struct {
+	// Tracer, when set, wraps every request in an "http.request" root
+	// span: a valid incoming traceparent header is adopted (so a
+	// worker's spans join the coordinator's trace), the trace ID is
+	// echoed on the X-Eole-Trace-Id response header, and the span is
+	// available to handlers through the request context.
+	Tracer *Tracer
+	// SlowRequest escalates requests whose root span outlives the
+	// threshold to a WARN log carrying the trace ID and the top-3
+	// slowest child spans inline. Zero disables escalation.
+	SlowRequest time.Duration
+}
+
+// AccessLogWith is AccessLog plus per-request root spans and
+// slow-request escalation per opts.
+func AccessLogWith(logger *slog.Logger, opts AccessLogOptions, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(RequestIDHeader)
 		if !ValidRequestID(id) {
 			id = NewRequestID()
 		}
-		r = r.WithContext(WithRequestID(r.Context(), id))
+		ctx := WithRequestID(r.Context(), id)
 		w.Header().Set(RequestIDHeader, id)
+		var sp *Span
+		if opts.Tracer != nil {
+			if rc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+				ctx = ContextWithRemoteSpan(ctx, rc)
+			}
+			ctx, sp = opts.Tracer.StartSpan(ctx, "http.request")
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("path", r.URL.Path)
+			w.Header().Set(TraceResponseHeader, sp.Context().TraceID)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		if sp != nil {
+			sp.SetAttr("status", itoa(sw.status))
+			sp.End()
 		}
 		logger.Info("http_request",
 			"request_id", id,
@@ -64,10 +101,35 @@ func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000.0,
+			"duration_ms", float64(dur.Microseconds())/1000.0,
 			"remote", r.RemoteAddr,
 		)
+		if sp != nil && opts.SlowRequest > 0 && dur >= opts.SlowRequest {
+			sc := sp.Context()
+			logger.Warn("slow_request",
+				"request_id", id,
+				"trace_id", sc.TraceID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"duration_ms", float64(dur.Microseconds())/1000.0,
+				"slowest_spans", slowSpanSummary(opts.Tracer, sc, 3),
+			)
+		}
 	})
+}
+
+// slowSpanSummary renders the top-n slowest completed child spans of a
+// trace as "name=duration" pairs for the slow_request WARN line.
+func slowSpanSummary(t *Tracer, sc SpanContext, n int) string {
+	spans := t.SlowestSpans(sc.TraceID, sc.SpanID, n)
+	if len(spans) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(spans))
+	for _, sp := range spans {
+		parts = append(parts, sp.Name+"="+sp.Duration().Round(time.Millisecond).String())
+	}
+	return strings.Join(parts, ",")
 }
 
 // HTTPMetrics holds the per-endpoint request instruments. Observe is

@@ -96,6 +96,100 @@ func TestAccessLogDefaultStatus(t *testing.T) {
 	}
 }
 
+func TestAccessLogWithTracing(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := NewTracer("test", 8)
+	var childID string
+	h := AccessLogWith(logger, AccessLogOptions{Tracer: tr, SlowRequest: time.Nanosecond},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, sp := tr.StartSpan(r.Context(), "work")
+			childID = sp.Context().SpanID
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}))
+
+	// An incoming traceparent is adopted: the root span joins that trace.
+	remote := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	req := httptest.NewRequest("POST", "/v1/sweep", nil)
+	req.Header.Set(TraceparentHeader, remote.Traceparent())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if got := rec.Header().Get(TraceResponseHeader); got != remote.TraceID {
+		t.Fatalf("trace response header = %q, want %q", got, remote.TraceID)
+	}
+	trace, ok := tr.Trace(remote.TraceID)
+	if !ok {
+		t.Fatalf("adopted trace not recorded")
+	}
+	var root, child *SpanData
+	for i := range trace.Spans {
+		switch trace.Spans[i].Name {
+		case "http.request":
+			root = &trace.Spans[i]
+		case "work":
+			child = &trace.Spans[i]
+		}
+	}
+	if root == nil || child == nil {
+		t.Fatalf("missing spans: %+v", trace.Spans)
+	}
+	if root.ParentID != remote.SpanID {
+		t.Errorf("root not parented on remote span: %q", root.ParentID)
+	}
+	if child.ParentID != root.SpanID || child.SpanID != childID {
+		t.Errorf("handler span not parented on root: %+v", child)
+	}
+	if root.Attrs["method"] != "POST" || root.Attrs["path"] != "/v1/sweep" || root.Attrs["status"] != "200" {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+
+	// The 1ns threshold means every request escalates: expect a WARN
+	// line naming the trace and the slow child span.
+	var warn map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if m["msg"] == "slow_request" {
+			warn = m
+		}
+	}
+	if warn == nil {
+		t.Fatalf("no slow_request line in:\n%s", buf.String())
+	}
+	if warn["level"] != "WARN" || warn["trace_id"] != remote.TraceID {
+		t.Errorf("slow_request line = %v", warn)
+	}
+	if s, _ := warn["slowest_spans"].(string); !strings.Contains(s, "work=") {
+		t.Errorf("slowest_spans = %q, want to mention work", s)
+	}
+}
+
+func TestAccessLogWithGarbageTraceparent(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	tr := NewTracer("test", 8)
+	h := AccessLogWith(logger, AccessLogOptions{Tracer: tr},
+		http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	for _, hostile := range []string{"", "garbage", "00-zzzz-1234-01"} {
+		req := httptest.NewRequest("GET", "/", nil)
+		if hostile != "" {
+			req.Header.Set(TraceparentHeader, hostile)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		id := rec.Header().Get(TraceResponseHeader)
+		if !validHexID(id, 32) {
+			t.Fatalf("traceparent %q: response trace id %q invalid", hostile, id)
+		}
+		if tr2, ok := tr.Trace(id); !ok || tr2.Spans[0].ParentID != "" {
+			t.Fatalf("traceparent %q: root not a fresh trace root", hostile)
+		}
+	}
+}
+
 func TestRequestIDContext(t *testing.T) {
 	ctx := WithRequestID(t.Context(), "abc123")
 	if got := RequestID(ctx); got != "abc123" {

@@ -128,6 +128,15 @@ type Options struct {
 	// submit context's request ID (obs.RequestID) so one sweep is
 	// traceable through the service's logs.
 	Logger *slog.Logger
+
+	// Tracer, when set, records per-phase spans for every simulation:
+	// cache.probe (fabric lookup), queue.wait (enqueue → worker
+	// pickup), trace.resolve (µ-op trace load/record), and sim.warm +
+	// sim.detailed (or sim.sampled), parented under the submitting
+	// request's span. Spans are per-phase only — the simulation hot
+	// loop is never instrumented — and a nil tracer costs one pointer
+	// test per phase.
+	Tracer *obs.Tracer
 }
 
 // Job is the handle for one submitted request. Wait blocks for the
@@ -213,12 +222,15 @@ func (j *Job) complete(r *eole.Report, err error, cached bool) {
 
 // task is one unique queued simulation; jobs holds every Job coalesced
 // onto it and running marks that a worker has started it (both guarded
-// by Service.mu).
+// by Service.mu). qspan times the queue wait: started before the
+// enqueue (so time blocked on a full queue counts), ended at worker
+// pickup. The channel handoff orders the write before the read.
 type task struct {
 	key     Key
 	req     Request
 	jobs    []*Job
 	running bool
+	qspan   *obs.Span
 }
 
 // Service runs simulations through a bounded worker pool with
@@ -348,7 +360,10 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 	// must not stall other Submits or job completions. The task is
 	// already registered, so concurrent identical Submits coalesce onto
 	// it and are resolved by the detach below.
-	if r := s.cache.getStore(ctx, key); r != nil {
+	pctx, psp := s.opts.Tracer.StartSpan(ctx, "cache.probe")
+	if r := s.cache.getStore(pctx, key); r != nil {
+		psp.SetAttr("hit", "true")
+		psp.End()
 		s.m.cacheHits.Add(1)
 		s.m.diskHits.Add(1)
 		for _, jb := range s.detach(t) {
@@ -358,7 +373,16 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 		s.log.Debug("job_disk_hit", "key", key.String(), "request_id", obs.RequestID(ctx))
 		return j, nil
 	}
+	psp.SetAttr("hit", "false")
+	psp.End()
 	s.m.cacheMisses.Add(1)
+
+	// The queue-wait span belongs to the first submitter's request; it
+	// ends when a worker picks the task up (see run). An enqueue that
+	// fails below simply drops the span — only ended spans publish.
+	_, t.qspan = s.opts.Tracer.StartSpan(ctx, "queue.wait")
+	t.qspan.SetAttr("config", req.label())
+	t.qspan.SetAttr("workload", req.Workload)
 
 	select {
 	case s.queue <- t:
@@ -577,6 +601,9 @@ func (s *Service) worker() {
 
 // run executes one unique simulation and resolves every coalesced job.
 func (s *Service) run(t *task) {
+	// Queue wait ends at pickup. End is idempotent, so a task that was
+	// requeued after an abandoned run records only its first wait.
+	t.qspan.End()
 	if s.ctx.Err() != nil {
 		s.abandon(t, ErrClosed)
 		return
@@ -630,7 +657,15 @@ func (s *Service) run(t *task) {
 	s.log.Info("sim_start", "key", t.key.String(), "config", t.req.label(),
 		"workload", t.req.Workload, "waiters", len(live), "request_ids", ids)
 
-	runCtx, cancelRun := context.WithCancel(context.Background())
+	// The run context is detached from the waiters (they come and go;
+	// cancellation is the watcher's job) but carries the first live
+	// waiter's span, so the simulation-phase spans land in the trace of
+	// the request that triggered the run.
+	base := context.Background()
+	if sp := obs.SpanFrom(live[0].ctx); sp != nil {
+		base = obs.ContextWithSpan(base, sp)
+	}
+	runCtx, cancelRun := context.WithCancel(base)
 	stopWatch := make(chan struct{})
 	go s.watchWaiters(t, cancelRun, stopWatch)
 	start := time.Now()
@@ -784,7 +819,14 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 	// Resolve the trace before starting the simulation clock: recording
 	// (or waiting on another job's single-flight recording) is
 	// accounted separately in TraceRecordTime, not in SimWallTime.
-	t := s.traceSource(ctx, w, req)
+	rctx, rsp := s.opts.Tracer.StartSpan(ctx, "trace.resolve")
+	t := s.traceSource(rctx, w, req)
+	if t != nil {
+		rsp.SetAttr("trace", "ready")
+	} else {
+		rsp.SetAttr("trace", "none")
+	}
+	rsp.End()
 	// Sampled requests run the sampler instead of a full detailed
 	// region (eole.WithSampling); the option composes with replay.
 	var extra []eole.SimOption
@@ -798,7 +840,7 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 		// (e.g. recorded against an older program build) falls back —
 		// but a canceled run is cancellation, not a trace problem.
 		opts := append([]eole.SimOption{eole.WithReplay(t)}, extra...)
-		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, opts...)
+		r, err = s.runPhases(ctx, req, w, opts)
 		switch {
 		case err == nil:
 			s.m.traceReplays.Add(1)
@@ -810,7 +852,7 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 		}
 	}
 	if r == nil {
-		r, err = eole.SimulateContext(ctx, req.Config, w, req.Warmup, req.Measure, extra...)
+		r, err = s.runPhases(ctx, req, w, extra)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -834,4 +876,35 @@ func (s *Service) simulate(ctx context.Context, req Request) (r *eole.Report, er
 		s.m.simOps.Add(req.Warmup + req.Measure)
 	}
 	return r, nil
+}
+
+// runPhases is eole.SimulateContext unrolled so each phase gets a
+// span: sim.sampled for sampled requests, otherwise sim.warm (the
+// functional warming run) then sim.detailed (the measured region).
+// Semantics — error propagation, sampled dispatch — are identical to
+// SimulateContext; with a nil tracer the unrolling is free.
+func (s *Service) runPhases(ctx context.Context, req Request, w eole.Workload, opts []eole.SimOption) (*eole.Report, error) {
+	sim, err := eole.NewSimulator(req.Config, w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if req.Sampling != nil {
+		_, sp := s.opts.Tracer.StartSpan(ctx, "sim.sampled")
+		r, err := sim.SampleContext(ctx, req.Warmup, req.Measure)
+		sp.SetError(err)
+		sp.End()
+		return r, err
+	}
+	_, wsp := s.opts.Tracer.StartSpan(ctx, "sim.warm")
+	if _, err := sim.RunContext(ctx, req.Warmup); err != nil {
+		wsp.SetError(err)
+		wsp.End()
+		return nil, err
+	}
+	wsp.End()
+	_, dsp := s.opts.Tracer.StartSpan(ctx, "sim.detailed")
+	r, err := sim.MeasureContext(ctx, req.Measure)
+	dsp.SetError(err)
+	dsp.End()
+	return r, err
 }
